@@ -1,0 +1,70 @@
+//! Maintenance throughput (Section VI): online inserts, deletes (which run
+//! the equivalent of a broad-match probe), and concurrent reads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use broadmatch::{AdInfo, IndexBuilder, MaintainedIndex, MatchType};
+use broadmatch_bench::{Scale, Scenario};
+
+fn build_maintained(scenario: &Scenario) -> MaintainedIndex {
+    let mut builder = IndexBuilder::new();
+    for (phrase, info) in &scenario.ads {
+        builder.add(phrase, *info).expect("valid");
+    }
+    MaintainedIndex::new(builder.build().expect("valid")).expect("hash directory")
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let scenario = Scenario::build(Scale::Small, 23);
+    let index = build_maintained(&scenario);
+    let trace: Vec<String> = scenario
+        .workload
+        .sample_trace(4_096, 55)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+
+    let mut group = c.benchmark_group("maintenance");
+    let mut n = 0u64;
+    group.bench_function("insert", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                (format!("fresh brand{} item{}", n % 97, n), AdInfo::with_bid(n, 25))
+            },
+            |(phrase, info)| index.insert(&phrase, info).expect("valid"),
+            BatchSize::SmallInput,
+        )
+    });
+    // Delete requires a broad-match probe to find the hosting node.
+    let mut n = 0u64;
+    group.bench_function("insert_then_remove", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                let phrase = format!("volatile brand{} item{}", n % 97, n);
+                index
+                    .insert(&phrase, AdInfo::with_bid(1_000_000 + n, 25))
+                    .expect("valid");
+                (phrase, 1_000_000 + n)
+            },
+            |(phrase, listing)| index.remove(&phrase, listing),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut cursor = 0usize;
+    group.bench_function("query_under_lock", |b| {
+        b.iter_batched(
+            || {
+                cursor = (cursor + 1) % trace.len();
+                &trace[cursor]
+            },
+            |q| index.query(q, MatchType::Broad),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmark behind the §VII-A throughput table: broad-match
+//! query latency for the hash structure vs both inverted baselines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use broadmatch::{IndexConfig, MatchType, RemapMode};
+use broadmatch_bench::{Scale, Scenario};
+use broadmatch_invidx::{ModifiedInvertedIndex, UnmodifiedInvertedIndex};
+
+fn bench_query(c: &mut Criterion) {
+    let scenario = Scenario::build(Scale::Small, 7);
+    let mut config = IndexConfig::default();
+    config.remap = RemapMode::LongOnly;
+    let hash_index = scenario.build_index(config);
+    let unmodified = UnmodifiedInvertedIndex::build(&scenario.ads).expect("valid");
+    let modified = ModifiedInvertedIndex::build(&scenario.ads).expect("valid");
+    let trace: Vec<String> = scenario
+        .workload
+        .sample_trace(4_096, 99)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+
+    let mut group = c.benchmark_group("broad_match_query");
+    let mut cursor = 0usize;
+    group.bench_function("hash_structure", |b| {
+        b.iter_batched(
+            || {
+                cursor = (cursor + 1) % trace.len();
+                &trace[cursor]
+            },
+            |q| hash_index.query(q, MatchType::Broad),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut cursor = 0usize;
+    group.bench_function("unmodified_inverted", |b| {
+        b.iter_batched(
+            || {
+                cursor = (cursor + 1) % trace.len();
+                &trace[cursor]
+            },
+            |q| unmodified.query_broad(q),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut cursor = 0usize;
+    group.bench_function("modified_inverted", |b| {
+        b.iter_batched(
+            || {
+                cursor = (cursor + 1) % trace.len();
+                &trace[cursor]
+            },
+            |q| modified.query_broad(q),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // Exact and phrase match reuse the same structure (Section III-B).
+    let mut group = c.benchmark_group("other_match_types");
+    for (name, mt) in [("exact", MatchType::Exact), ("phrase", MatchType::Phrase)] {
+        let mut cursor = 0usize;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    cursor = (cursor + 1) % trace.len();
+                    &trace[cursor]
+                },
+                |q| hash_index.query(q, mt),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

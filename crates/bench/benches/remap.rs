@@ -1,0 +1,48 @@
+//! Criterion benchmark behind Fig. 10: query latency under the three
+//! re-mapping variants (plus withdrawals).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use broadmatch::{IndexConfig, MatchType, RemapMode};
+use broadmatch_bench::{Scale, Scenario};
+
+fn bench_remap(c: &mut Criterion) {
+    let scenario = Scenario::build(Scale::Small, 13);
+    let trace: Vec<String> = scenario
+        .workload
+        .sample_trace(4_096, 101)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+
+    let variants = [
+        ("no_remap", RemapMode::None),
+        ("long_only", RemapMode::LongOnly),
+        ("full_set_cover", RemapMode::Full),
+        ("full_with_withdrawals", RemapMode::FullWithWithdrawals),
+    ];
+
+    let mut group = c.benchmark_group("fig10_remap_variants");
+    for (name, mode) in variants {
+        let mut config = IndexConfig::default();
+        config.remap = mode;
+        config.max_words = 5;
+        config.probe_cap = 1 << 16;
+        let index = scenario.build_index(config);
+        let mut cursor = 0usize;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    cursor = (cursor + 1) % trace.len();
+                    &trace[cursor]
+                },
+                |q| index.query(q, MatchType::Broad),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_remap);
+criterion_main!(benches);

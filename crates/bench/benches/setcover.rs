@@ -1,0 +1,52 @@
+//! Scaling of the weighted set cover solvers driving the re-mapping
+//! optimizer (Section V-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use broadmatch_setcover::{greedy_cover, with_withdrawals, CandidateSet};
+
+/// Deterministic random instance with bounded set sizes (k <= 4), mirroring
+/// the optimizer's workload shape.
+fn instance(universe: u32, n_sets: usize, seed: u64) -> Vec<CandidateSet> {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut candidates: Vec<CandidateSet> = (0..universe)
+        .map(|e| CandidateSet::new(vec![e], 1.0 + (rng() % 100) as f64 / 40.0, e as u64))
+        .collect();
+    for i in 0..n_sets {
+        let size = 2 + (rng() % 3) as usize;
+        let elements: Vec<u32> = (0..size).map(|_| (rng() % universe as u64) as u32).collect();
+        candidates.push(CandidateSet::new(
+            elements,
+            0.6 + (rng() % 100) as f64 / 25.0,
+            1000 + i as u64,
+        ));
+    }
+    candidates
+}
+
+fn bench_setcover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_set_cover");
+    for &universe in &[100u32, 1_000, 10_000] {
+        let candidates = instance(universe, universe as usize * 2, 9);
+        group.bench_with_input(BenchmarkId::new("greedy", universe), &universe, |b, &u| {
+            b.iter(|| greedy_cover(u, &candidates).expect("coverable"))
+        });
+        if universe <= 1_000 {
+            group.bench_with_input(
+                BenchmarkId::new("greedy_with_withdrawals", universe),
+                &universe,
+                |b, &u| b.iter(|| with_withdrawals(u, &candidates, 2).expect("coverable")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setcover);
+criterion_main!(benches);

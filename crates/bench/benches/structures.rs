@@ -1,0 +1,112 @@
+//! Microbenchmarks of the building blocks: subset enumeration, `wordhash`,
+//! directory lookups (hash table vs succinct), rank/select and Elias–Fano.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use broadmatch::{wordhash, WordId, WordSet};
+use broadmatch_succinct::{BitVec, CompressedDirectory, EliasFano, RankSelect};
+
+fn bench_subsets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subset_enumeration");
+    for q in [3usize, 6, 10] {
+        let set = WordSet::from_unsorted((0..q as u32).map(WordId).collect());
+        group.bench_function(format!("q{q}_max5"), |b| {
+            b.iter(|| {
+                let mut iter = set.subsets(5);
+                let mut n = 0u64;
+                while let Some(s) = iter.next_subset() {
+                    n += s.len() as u64;
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wordhash(c: &mut Criterion) {
+    let ids: Vec<WordId> = vec![WordId(3), WordId(71), WordId(902), WordId(7711)];
+    c.bench_function("wordhash_4_words", |b| b.iter(|| wordhash(std::hint::black_box(&ids))));
+}
+
+fn bench_directories(c: &mut Criterion) {
+    // A realistic directory population: 100K nodes.
+    let n = 100_000u64;
+    let suffix_bits = 21;
+    let nodes: Vec<(u64, u64)> = (0..n)
+        .map(|i| (i * ((1 << suffix_bits) / n), 40))
+        .collect();
+    let dir = CompressedDirectory::new(suffix_bits, &nodes);
+    let mut group = c.benchmark_group("directory_lookup");
+    let mut i = 0u64;
+    group.bench_function("succinct_hit", |b| {
+        b.iter_batched(
+            || {
+                i = (i + 1) % n;
+                nodes[i as usize].0
+            },
+            |suffix| dir.lookup(suffix),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut i = 0u64;
+    group.bench_function("succinct_miss", |b| {
+        b.iter_batched(
+            || {
+                i = (i + 7) % (1 << suffix_bits);
+                i | 1 // node suffixes here are even multiples; odd = miss
+            },
+            |suffix| dir.lookup(suffix),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_rank_select(c: &mut Criterion) {
+    let n = 1u64 << 22;
+    let bv = BitVec::from_ones(n, (0..n).filter(|i| i % 13 == 0));
+    let rs = RankSelect::new(bv);
+    let ones = rs.ones();
+    let mut group = c.benchmark_group("rank_select");
+    let mut i = 0u64;
+    group.bench_function("rank1", |b| {
+        b.iter_batched(
+            || {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+                i
+            },
+            |pos| rs.rank1(pos),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut i = 0u64;
+    group.bench_function("select1", |b| {
+        b.iter_batched(
+            || {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % ones;
+                i
+            },
+            |j| rs.select1(j),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    let values: Vec<u64> = (0..200_000u64).map(|i| i * 37).collect();
+    let ef = EliasFano::new(&values, *values.last().unwrap());
+    let mut i = 0u64;
+    c.bench_function("elias_fano_get", |b| {
+        b.iter_batched(
+            || {
+                i = (i + 12345) % ef.len();
+                i
+            },
+            |j| ef.get(j),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_subsets, bench_wordhash, bench_directories, bench_rank_select);
+criterion_main!(benches);

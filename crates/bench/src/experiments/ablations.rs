@@ -1,0 +1,198 @@
+//! Ablations over the design choices DESIGN.md calls out: the `max_words`
+//! bound, the set-cover solver, and the cost-model slope.
+
+use broadmatch::{IndexConfig, MatchType, QueryWorkload, RemapMode};
+use broadmatch_memcost::{CostModel, CountingTracker};
+use broadmatch_setcover::{exact_cover, greedy_cover, with_withdrawals, CandidateSet};
+
+use crate::scenario::time;
+use crate::table::{f2, fi, Table};
+use crate::{Scale, Scenario};
+
+/// One row of the `max_words` sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxWordsRow {
+    /// The bound.
+    pub max_words: usize,
+    /// Mean directory probes per query.
+    pub probes_per_query: f64,
+    /// Nodes in the structure.
+    pub nodes: usize,
+    /// Trace wall time, seconds.
+    pub seconds: f64,
+}
+
+/// Sweep `max_words`: small bounds mean few probes but big merged nodes;
+/// large bounds the reverse (the central trade-off of Section IV-B).
+pub fn max_words_sweep(scale: Scale, seed: u64) -> Vec<MaxWordsRow> {
+    println!("== Ablation: the max_words probe/scan trade-off ==");
+    let scenario = Scenario::build(scale, seed);
+    let trace = scenario.trace(seed ^ 5);
+    let mut rows = Vec::new();
+    let mut t = Table::new(&["max_words", "probes/query", "nodes", "time_s"]);
+    for max_words in [2usize, 3, 4, 6, 8, 10] {
+        let mut config = IndexConfig::default();
+        config.remap = RemapMode::LongOnly;
+        config.max_words = max_words;
+        config.probe_cap = 1 << 16;
+        let index = scenario.build_index(config);
+
+        let mut tracker = CountingTracker::new();
+        let probe_sample = trace.len().min(2_000);
+        for q in trace.iter().take(probe_sample) {
+            index.query_tracked(q, MatchType::Broad, &mut tracker);
+        }
+        let probes = tracker.random_accesses as f64 / probe_sample as f64;
+
+        let (_, seconds) = time(|| {
+            let mut hits = 0usize;
+            for q in &trace {
+                hits += index.query(q, MatchType::Broad).len();
+            }
+            hits
+        });
+        let row = MaxWordsRow {
+            max_words,
+            probes_per_query: probes,
+            nodes: index.stats().nodes,
+            seconds,
+        };
+        t.row_owned(vec![
+            max_words.to_string(),
+            f2(row.probes_per_query),
+            fi(row.nodes as f64),
+            format!("{:.2}", row.seconds),
+        ]);
+        rows.push(row);
+    }
+    t.print();
+    println!();
+    rows
+}
+
+/// Set-cover solver quality on random bounded instances: greedy vs greedy +
+/// withdrawals vs exact (the `H_k` guarantee of Section V-B in practice).
+pub fn setcover_quality(trials: usize, seed: u64) -> (f64, f64) {
+    println!("== Ablation: set-cover solver quality (ratio to optimum) ==");
+    let mut state = seed.max(1);
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut greedy_ratio_sum = 0.0;
+    let mut withdraw_ratio_sum = 0.0;
+    let mut greedy_worst: f64 = 1.0;
+    let mut withdraw_worst: f64 = 1.0;
+    for _ in 0..trials {
+        let universe = 4 + (rng() % 10) as u32;
+        let mut candidates = Vec::new();
+        for e in 0..universe {
+            candidates.push(CandidateSet::new(
+                vec![e],
+                1.0 + (rng() % 100) as f64 / 30.0,
+                e as u64,
+            ));
+        }
+        for i in 0..(6 + (rng() % 10) as usize) {
+            let size = 2 + (rng() % 4) as usize;
+            let elements: Vec<u32> = (0..size).map(|_| (rng() % universe as u64) as u32).collect();
+            candidates.push(CandidateSet::new(
+                elements,
+                0.5 + (rng() % 100) as f64 / 15.0,
+                100 + i as u64,
+            ));
+        }
+        let opt = exact_cover(universe, &candidates).expect("coverable").total_weight;
+        let g = greedy_cover(universe, &candidates).expect("coverable").total_weight;
+        let w = with_withdrawals(universe, &candidates, 5)
+            .expect("coverable")
+            .total_weight;
+        greedy_ratio_sum += g / opt;
+        withdraw_ratio_sum += w / opt;
+        greedy_worst = greedy_worst.max(g / opt);
+        withdraw_worst = withdraw_worst.max(w / opt);
+    }
+    let g_avg = greedy_ratio_sum / trials as f64;
+    let w_avg = withdraw_ratio_sum / trials as f64;
+    let mut t = Table::new(&["solver", "avg ratio to optimum", "worst observed"]);
+    t.row_owned(vec!["greedy".into(), format!("{g_avg:.4}"), format!("{greedy_worst:.4}")]);
+    t.row_owned(vec![
+        "greedy + withdrawals".into(),
+        format!("{w_avg:.4}"),
+        format!("{withdraw_worst:.4}"),
+    ]);
+    t.print();
+    println!("H_4 bound = {:.3}\n", broadmatch_setcover::harmonic(4));
+    (g_avg, w_avg)
+}
+
+/// Cost-model sensitivity: sweep the scan cost per byte and watch the
+/// optimizer change how aggressively it merges nodes.
+pub fn cost_model_sweep(scale: Scale, seed: u64) -> Vec<(f64, usize)> {
+    println!("== Ablation: cost-model scan_byte vs optimizer merging ==");
+    let scenario = Scenario::build(scale, seed);
+    let mut out = Vec::new();
+    let mut t = Table::new(&["scan_byte", "break_even_bytes", "nodes", "remapped_groups"]);
+    for scan_byte in [0.01, 0.1, 0.25, 1.0, 4.0] {
+        let mut config = IndexConfig::default();
+        config.remap = RemapMode::Full;
+        config.cost = CostModel {
+            cost_random: 100.0,
+            scan_base: 0.0,
+            scan_byte,
+        };
+        let index = scenario.build_index(config);
+        let stats = index.mapping_stats();
+        t.row_owned(vec![
+            format!("{scan_byte}"),
+            fi(config.cost.break_even_scan_bytes() as f64),
+            fi(stats.nodes as f64),
+            fi(stats.remapped_groups as f64),
+        ]);
+        out.push((scan_byte, stats.nodes));
+    }
+    t.print();
+    println!("cheaper scans (smaller scan_byte) => more merging => fewer nodes\n");
+    let workload = QueryWorkload::new();
+    drop(workload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_words_trades_probes_for_nodes() {
+        let rows = max_words_sweep(Scale::Small, 71);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(
+            last.probes_per_query > first.probes_per_query,
+            "bigger max_words means more probes: {} vs {}",
+            last.probes_per_query,
+            first.probes_per_query
+        );
+        assert!(last.nodes >= first.nodes, "bigger max_words means more (or equal) nodes");
+    }
+
+    #[test]
+    fn withdrawals_never_hurt_quality() {
+        let (g, w) = setcover_quality(150, 77);
+        assert!(w <= g + 1e-9, "withdrawals avg {w} vs greedy {g}");
+        assert!(g < broadmatch_setcover::harmonic(5), "greedy within H_k on average");
+    }
+
+    #[test]
+    fn cheaper_scans_merge_more() {
+        let rows = cost_model_sweep(Scale::Small, 79);
+        let cheapest = rows.first().unwrap().1;
+        let dearest = rows.last().unwrap().1;
+        assert!(
+            cheapest <= dearest,
+            "cheap scans should merge at least as much: {cheapest} vs {dearest}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! §VI — compression: node front-coding/delta encoding, and the compressed
+//! `B^sig`/`B^off` directory vs the plain hash table (the paper's ≈9:1
+//! example).
+
+use broadmatch::{DirectoryKind, IndexConfig, MatchType, RemapMode};
+use broadmatch_succinct::zero_order_entropy_bits;
+
+use crate::table::{f2, fi, Table};
+use crate::{Scale, Scenario};
+
+/// Space outcomes of the compression experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionOutcome {
+    /// Node plain : compressed ratio.
+    pub node_ratio: f64,
+    /// Hash-table : succinct-directory ratio.
+    pub directory_ratio: f64,
+}
+
+/// Build the index with and without compression, measure, and print both
+/// the measured structures and the paper's analytic example.
+pub fn run(scale: Scale, seed: u64) -> CompressionOutcome {
+    println!("== §VI: compression of nodes and directory ==");
+    let scenario = Scenario::build(scale, seed);
+
+    let mut config = IndexConfig::default();
+    config.remap = RemapMode::LongOnly;
+    config.directory = DirectoryKind::Succinct;
+    config.compress_nodes = true;
+    let index = scenario.build_index(config);
+
+    // Correctness survives both compressions.
+    let mut plain_cfg = IndexConfig::default();
+    plain_cfg.remap = RemapMode::LongOnly;
+    let plain_index = scenario.build_index(plain_cfg);
+    for q in scenario.trace(seed ^ 4).iter().take(300) {
+        let mut a: Vec<u64> = index
+            .query(q, MatchType::Broad)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        let mut b: Vec<u64> = plain_index
+            .query(q, MatchType::Broad)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "compressed structure changed results for {q:?}");
+    }
+
+    let report = index.compression_report();
+    let mut t = Table::new(&["component", "bytes", "notes"]);
+    t.row_owned(vec![
+        "nodes, plain codec".into(),
+        fi(report.node_plain_bytes as f64),
+        String::new(),
+    ]);
+    t.row_owned(vec![
+        "nodes, compressed codec".into(),
+        fi(report.node_compressed_bytes as f64),
+        format!("{}x smaller", f2(report.node_ratio())),
+    ]);
+    t.row_owned(vec![
+        "hash-table directory (would-be)".into(),
+        fi(report.hash_directory_bytes as f64),
+        format!("{} entries", fi(report.entries as f64)),
+    ]);
+    t.row_owned(vec![
+        "succinct directory (B^sig + B^off)".into(),
+        fi(report.directory_bytes as f64),
+        format!("{}x smaller", f2(report.directory_ratio())),
+    ]);
+    t.print();
+
+    if let Some(space) = index.succinct_space() {
+        println!(
+            "B^sig: {} bits (entropy bound {}), B^off: {} bits (entropy bound {})",
+            fi(space.sig_bits as f64),
+            fi(space.sig_entropy_bound),
+            fi(space.off_bits as f64),
+            fi(space.off_entropy_bound),
+        );
+    }
+
+    // The paper's analytic example: 100M ads, 20M distinct word sets,
+    // s = 28, 75 bytes of node data per distinct set.
+    let n_sets = 20_000_000f64;
+    let hash_bits = n_sets * (4.0 + 4.0) * (4.0 / 3.0) * 8.0;
+    let sig_bits = zero_order_entropy_bits(1u64 << 28, n_sets as u64);
+    let off_bits = zero_order_entropy_bits((n_sets * 75.0) as u64, n_sets as u64);
+    println!(
+        "paper's analytic example (100M ads): hash {} bits vs B^sig {} + B^off {} bits = {}:1 (paper: ~9:1)\n",
+        fi(hash_bits),
+        fi(sig_bits),
+        fi(off_bits),
+        f2(hash_bits / (sig_bits + off_bits)),
+    );
+
+    CompressionOutcome {
+        node_ratio: report.node_ratio(),
+        directory_ratio: report.directory_ratio(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_compressions_save_space() {
+        let o = run(Scale::Small, 61);
+        assert!(o.node_ratio > 1.3, "node ratio {}", o.node_ratio);
+        assert!(o.directory_ratio > 2.0, "directory ratio {}", o.directory_ratio);
+    }
+
+    #[test]
+    fn paper_analytic_example_is_about_nine_to_one() {
+        let n_sets = 20_000_000f64;
+        let hash_bits = n_sets * 8.0 * (4.0 / 3.0) * 8.0;
+        let sig = zero_order_entropy_bits(1u64 << 28, n_sets as u64);
+        let off = zero_order_entropy_bits((n_sets * 75.0) as u64, n_sets as u64);
+        let ratio = hash_bits / (sig + off);
+        assert!((6.0..14.0).contains(&ratio), "ratio {ratio}");
+    }
+}

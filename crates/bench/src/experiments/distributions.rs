@@ -1,0 +1,156 @@
+//! Figures 1, 2, 3 and 7: the data distributions everything else rests on.
+
+use broadmatch::CorpusStats;
+use broadmatch_corpus::{AdCorpus, CorpusConfig, MtPhraseGenerator};
+
+use crate::table::{f2, fi, Table};
+use crate::Scale;
+
+/// Fig. 1 — "Bids are short": phrase-length histogram with the paper's
+/// quantile checkpoints (62% ≤ 3 words, 96% ≤ 5, 99.8% ≤ 8).
+pub fn fig1(scale: Scale, seed: u64) -> CorpusStats {
+    println!("== Fig. 1: bid phrase lengths (corpus of {} ads) ==", fi(scale.n_ads() as f64));
+    let corpus = AdCorpus::generate(CorpusConfig::benchmark(scale.n_ads(), seed));
+    let stats = CorpusStats::from_phrases(corpus.phrases());
+    let mut t = Table::new(&["words", "phrases", "fraction", "cumulative"]);
+    let total = stats.total_phrases.max(1) as f64;
+    let mut cum = 0.0;
+    for (len, &count) in stats.length_histogram.iter().enumerate().skip(1) {
+        let frac = count as f64 / total;
+        cum += frac;
+        t.row_owned(vec![
+            len.to_string(),
+            fi(count as f64),
+            format!("{:.4}", frac),
+            format!("{:.4}", cum),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper: 62% <= 3 words, 96% <= 5, 99.8% <= 8 | measured: {:.1}% / {:.1}% / {:.2}%\n",
+        stats.fraction_with_at_most(3) * 100.0,
+        stats.fraction_with_at_most(5) * 100.0,
+        stats.fraction_with_at_most(8) * 100.0,
+    );
+    stats
+}
+
+/// Fig. 2 — ads per word set follow a long-tail (Zipf) law. Prints the
+/// frequency at log-spaced ranks plus the fitted log-log slope.
+pub fn fig2(scale: Scale, seed: u64) -> f64 {
+    println!("== Fig. 2: ads per distinct word set (long tail) ==");
+    let corpus = AdCorpus::generate(CorpusConfig::benchmark(scale.n_ads(), seed));
+    let stats = CorpusStats::from_phrases(corpus.phrases());
+    let freqs = &stats.wordset_frequencies;
+    let mut t = Table::new(&["rank", "ads_for_wordset"]);
+    let mut rank = 1usize;
+    while rank <= freqs.len().min(32_768) {
+        t.row_owned(vec![fi(rank as f64), fi(freqs[rank - 1] as f64)]);
+        rank *= 4;
+    }
+    t.print();
+    let slope = CorpusStats::zipf_slope(freqs, 32_768);
+    println!(
+        "log-log slope over top-32K combinations: {} (straight line = Zipf; paper plots ~-0.55)\n",
+        f2(slope)
+    );
+    slope
+}
+
+/// Fig. 3 — MT phrases vs bids: both peak at 3 words, MT falls off slower.
+pub fn fig3(scale: Scale, seed: u64) -> (CorpusStats, CorpusStats) {
+    println!("== Fig. 3: bid lengths vs machine-translation phrase lengths ==");
+    let corpus = AdCorpus::generate(CorpusConfig::benchmark(scale.n_ads() / 4, seed));
+    let bid_stats = CorpusStats::from_phrases(corpus.phrases());
+    let mt_phrases = MtPhraseGenerator::new(50_000, seed).generate(scale.n_ads() / 4);
+    let mt_stats =
+        CorpusStats::from_phrases(mt_phrases.iter().map(|s| s.as_str()));
+
+    let mut t = Table::new(&["words", "bid_fraction", "mt_fraction"]);
+    let max_len = bid_stats
+        .length_histogram
+        .len()
+        .max(mt_stats.length_histogram.len());
+    for len in 1..max_len {
+        let b = *bid_stats.length_histogram.get(len).unwrap_or(&0) as f64
+            / bid_stats.total_phrases.max(1) as f64;
+        let m = *mt_stats.length_histogram.get(len).unwrap_or(&0) as f64
+            / mt_stats.total_phrases.max(1) as f64;
+        t.row_owned(vec![len.to_string(), format!("{b:.4}"), format!("{m:.4}")]);
+    }
+    t.print();
+    println!(
+        "mass at >= 6 words:  bids {:.2}%  vs  MT {:.2}%  (paper: MT falls off much slower)\n",
+        (1.0 - bid_stats.fraction_with_at_most(5)) * 100.0,
+        (1.0 - mt_stats.fraction_with_at_most(5)) * 100.0,
+    );
+    (bid_stats, mt_stats)
+}
+
+/// Fig. 7 — keyword frequencies are far more skewed than word-combination
+/// frequencies; also prints the paper's "~3000 vs ~100 elements under the
+/// most popular keys" comparison.
+pub fn fig7(scale: Scale, seed: u64) -> (f64, f64) {
+    println!("== Fig. 7: keyword vs word-combination frequency skew ==");
+    let corpus = AdCorpus::generate(CorpusConfig::benchmark(scale.n_ads(), seed));
+    let stats = CorpusStats::from_phrases(corpus.phrases());
+    let mut t = Table::new(&["rank", "keyword_freq", "wordset_freq"]);
+    let mut rank = 1usize;
+    let limit = stats
+        .keyword_frequencies
+        .len()
+        .min(stats.wordset_frequencies.len())
+        .min(32_768);
+    while rank <= limit {
+        t.row_owned(vec![
+            fi(rank as f64),
+            fi(stats.keyword_frequencies[rank - 1] as f64),
+            fi(stats.wordset_frequencies[rank - 1] as f64),
+        ]);
+        rank *= 4;
+    }
+    t.print();
+
+    let top = 100.min(limit);
+    let avg_kw: f64 = stats.keyword_frequencies[..top].iter().sum::<u64>() as f64 / top as f64;
+    let avg_ws: f64 = stats.wordset_frequencies[..top].iter().sum::<u64>() as f64 / top as f64;
+    println!(
+        "avg elements under the 100 most popular keys: keywords {} vs word sets {} ({}x; paper: ~3000 vs ~100)\n",
+        fi(avg_kw),
+        fi(avg_ws),
+        f2(avg_kw / avg_ws.max(1.0)),
+    );
+    (avg_kw, avg_ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_quantiles_hold_at_small_scale() {
+        let stats = fig1(Scale::Small, 1);
+        assert!((stats.fraction_with_at_most(3) - 0.62).abs() < 0.08);
+        assert!(stats.fraction_with_at_most(8) > 0.99);
+    }
+
+    #[test]
+    fn fig2_slope_is_long_tailed() {
+        let slope = fig2(Scale::Small, 1);
+        assert!((-1.1..=-0.2).contains(&slope), "slope {slope}");
+    }
+
+    #[test]
+    fn fig3_mt_tail_is_heavier() {
+        let (bids, mt) = fig3(Scale::Small, 1);
+        let bid_tail = 1.0 - bids.fraction_with_at_most(5);
+        let mt_tail = 1.0 - mt.fraction_with_at_most(5);
+        assert!(mt_tail > 5.0 * bid_tail);
+    }
+
+    #[test]
+    fn fig7_keywords_dominate() {
+        let (kw, ws) = fig7(Scale::Small, 1);
+        assert!(kw > 3.0 * ws, "avg keyword bucket {kw} vs wordset {ws}");
+    }
+}

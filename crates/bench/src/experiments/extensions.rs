@@ -1,0 +1,306 @@
+//! Extension experiments beyond the paper's evaluation section:
+//!
+//! * `directory-kind` — hash table vs succinct vs sorted-array (the
+//!   tree-structured lookup table of §III-B): probes, space, speed;
+//! * `probe-cap` — the §IV-B "heuristic cutoff" as a recall/probe trade-off;
+//! * `parallel` — query throughput scaling across threads (the index is
+//!   immutable at serve time, so reads shard perfectly).
+
+use broadmatch::{DirectoryKind, IndexConfig, MatchType, RemapMode};
+use broadmatch_memcost::CountingTracker;
+
+use crate::scenario::time;
+use crate::table::{f2, fi, Table};
+use crate::{Scale, Scenario};
+
+/// One row of the directory comparison.
+#[derive(Debug, Clone)]
+pub struct DirectoryRow {
+    /// Which directory.
+    pub kind: &'static str,
+    /// Directory bytes.
+    pub bytes: usize,
+    /// Mean random accesses per query (probe steps included).
+    pub accesses_per_query: f64,
+    /// Trace wall time, seconds.
+    pub seconds: f64,
+}
+
+/// Compare the three directory structures on identical node layouts.
+pub fn directory_kinds(scale: Scale, seed: u64) -> Vec<DirectoryRow> {
+    println!("== Extension: directory structures (hash vs succinct vs sorted array) ==");
+    let scenario = Scenario::build(scale, seed);
+    let trace = scenario.trace(seed ^ 11);
+    let kinds: [(&'static str, DirectoryKind); 3] = [
+        ("hash table (Fig. 4)", DirectoryKind::HashTable),
+        ("succinct B^sig/B^off (SVI)", DirectoryKind::Succinct),
+        ("sorted array / tree (SIII-B)", DirectoryKind::SortedArray),
+    ];
+    let mut rows = Vec::new();
+    let mut reference_hits: Option<usize> = None;
+    let mut t = Table::new(&["directory", "bytes", "accesses/query", "time_s"]);
+    for (name, kind) in kinds {
+        let mut config = IndexConfig::default();
+        config.directory = kind;
+        config.remap = RemapMode::LongOnly;
+        let index = scenario.build_index(config);
+
+        let mut tracker = CountingTracker::new();
+        let sample = trace.len().min(2_000);
+        for q in trace.iter().take(sample) {
+            index.query_tracked(q, MatchType::Broad, &mut tracker);
+        }
+        let (hits, seconds) = time(|| {
+            let mut hits = 0usize;
+            for q in &trace {
+                hits += index.query(q, MatchType::Broad).len();
+            }
+            hits
+        });
+        match reference_hits {
+            None => reference_hits = Some(hits),
+            Some(r) => assert_eq!(r, hits, "{name} changed results"),
+        }
+        let row = DirectoryRow {
+            kind: name,
+            bytes: index.stats().directory_bytes,
+            accesses_per_query: tracker.random_accesses as f64 / sample as f64,
+            seconds,
+        };
+        t.row_owned(vec![
+            name.to_string(),
+            fi(row.bytes as f64),
+            f2(row.accesses_per_query),
+            format!("{:.2}", row.seconds),
+        ]);
+        rows.push(row);
+    }
+    t.print();
+    println!(
+        "the tree variant pays log2(nodes) dependent probes per lookup; the hash table ~1;\n\
+         the succinct directory trades a little speed for an order less space\n"
+    );
+    rows
+}
+
+/// One row of the probe-cap sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeCapRow {
+    /// The cap.
+    pub probe_cap: usize,
+    /// Fraction of true matches still returned.
+    pub recall: f64,
+    /// Mean probes actually spent per query.
+    pub probes_per_query: f64,
+}
+
+/// The §IV-B heuristic cutoff: sweep the probe cap and measure recall.
+/// Subsets are enumerated smallest-first, so the cap sheds the longest
+/// (least selective) locators first.
+pub fn probe_cap_sweep(scale: Scale, seed: u64) -> Vec<ProbeCapRow> {
+    println!("== Extension: the probe-cap cutoff (recall vs probes) ==");
+    let scenario = Scenario::build(scale, seed);
+    let trace_len = match scale {
+        Scale::Small => 3_000,
+        _ => 10_000,
+    };
+    let trace = scenario.workload.sample_trace(trace_len, seed ^ 13);
+
+    // Ground truth with an effectively unlimited cap.
+    let build = |probe_cap: usize| {
+        let mut config = IndexConfig::default();
+        config.remap = RemapMode::LongOnly;
+        config.max_words = 8;
+        config.probe_cap = probe_cap;
+        let mut builder = broadmatch::IndexBuilder::with_config(config);
+        for (p, i) in &scenario.ads {
+            builder.add(p, *i).expect("valid");
+        }
+        builder.build().expect("valid")
+    };
+    let exact = build(1 << 22);
+    let truth: Vec<usize> = trace
+        .iter()
+        .map(|q| exact.query(q, MatchType::Broad).len())
+        .collect();
+    let total_truth: usize = truth.iter().sum();
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(&["probe_cap", "recall", "probes/query"]);
+    for cap in [64usize, 256, 1024, 4096, 1 << 14, 1 << 22] {
+        let index = build(cap);
+        let mut tracker = CountingTracker::new();
+        let mut found = 0usize;
+        for q in &trace {
+            found += index
+                .query_tracked(q, MatchType::Broad, &mut tracker)
+                .len();
+        }
+        let row = ProbeCapRow {
+            probe_cap: cap,
+            recall: if total_truth == 0 {
+                1.0
+            } else {
+                found as f64 / total_truth as f64
+            },
+            probes_per_query: tracker.branches as f64 / trace.len() as f64,
+        };
+        t.row_owned(vec![
+            fi(cap as f64),
+            format!("{:.4}", row.recall),
+            f2(row.probes_per_query),
+        ]);
+        rows.push(row);
+    }
+    t.print();
+    println!("recall is already ~1 at small caps: size-ordered enumeration probes the\nshort, selective locators first, exactly why the paper's cutoff is safe\n");
+    rows
+}
+
+/// The §VI suffix-width sweep: directory size vs collision-induced scan.
+pub fn suffix_sweep(scale: Scale, seed: u64) -> Vec<broadmatch_succinct::SuffixTradeoffRow> {
+    println!("== Extension: selecting the suffix size s (SVI trade-off) ==");
+    let scenario = Scenario::build(scale, seed);
+    let mut config = IndexConfig::default();
+    config.remap = RemapMode::LongOnly;
+    let index = scenario.build_index(config);
+    let stats = index.stats();
+    let avg_node_bytes = (stats.arena_bytes / stats.nodes.max(1)).max(1) as u64;
+
+    let lo = (stats.nodes.max(2) as u64).ilog2();
+    let rows = broadmatch_succinct::suffix_tradeoff(
+        stats.nodes as u64,
+        avg_node_bytes,
+        lo..=(lo + 12).min(40),
+    );
+    let mut t = Table::new(&["suffix_bits", "directory_KiB", "extra_scan_bytes/visit"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.suffix_bits.to_string(),
+            format!("{:.1}", r.directory_bits / 8.0 / 1024.0),
+            format!("{:.2}", r.extra_scan_bytes),
+        ]);
+    }
+    t.print();
+    let chosen = broadmatch_succinct::pick_suffix_bits_by_model(
+        stats.nodes as u64,
+        avg_node_bytes,
+        (broadmatch_memcost::CostModel::dram().break_even_scan_bytes() as f64 * 0.05).max(1.0),
+    );
+    println!(
+        "model picks s = {chosen} for {} nodes of ~{avg_node_bytes} bytes (paper's example: s = 28 at 20M sets)
+",
+        fi(stats.nodes as f64)
+    );
+    rows
+}
+
+/// Parallel read throughput: queries/second for 1..=N threads.
+pub fn parallel_scaling(scale: Scale, seed: u64) -> Vec<(usize, f64)> {
+    println!("== Extension: multi-threaded query throughput ==");
+    let scenario = Scenario::build(scale, seed);
+    let mut config = IndexConfig::default();
+    config.remap = RemapMode::LongOnly;
+    let index = scenario.build_index(config);
+    let trace: Vec<&str> = scenario.workload.sample_trace(
+        match scale {
+            Scale::Small => 40_000,
+            _ => 200_000,
+        },
+        seed ^ 17,
+    );
+
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4, cores.min(8)];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let mut out = Vec::new();
+    let mut t = Table::new(&["threads", "queries/s", "speedup"]);
+    let mut base_qps = 0.0;
+    for threads in thread_counts {
+        let index_ref = &index;
+        let (_, seconds) = time(|| {
+            crossbeam::scope(|s| {
+                for chunk in trace.chunks(trace.len().div_ceil(threads)) {
+                    s.spawn(move |_| {
+                        let mut hits = 0usize;
+                        for q in chunk {
+                            hits += index_ref.query(q, MatchType::Broad).len();
+                        }
+                        std::hint::black_box(hits);
+                    });
+                }
+            })
+            .expect("threads join");
+        });
+        let qps = trace.len() as f64 / seconds;
+        if base_qps == 0.0 {
+            base_qps = qps;
+        }
+        t.row_owned(vec![
+            threads.to_string(),
+            fi(qps),
+            format!("{:.2}x", qps / base_qps),
+        ]);
+        out.push((threads, qps));
+    }
+    t.print();
+    println!("the serve-time structure is immutable: reads scale near-linearly\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_directory_needs_more_probes_hash_more_space_than_succinct() {
+        let rows = directory_kinds(Scale::Small, 91);
+        let hash = &rows[0];
+        let succinct = &rows[1];
+        let sorted = &rows[2];
+        assert!(
+            sorted.accesses_per_query > 2.0 * hash.accesses_per_query,
+            "tree probes {} vs hash {}",
+            sorted.accesses_per_query,
+            hash.accesses_per_query
+        );
+        assert!(succinct.bytes < hash.bytes / 2, "succinct {} vs hash {}", succinct.bytes, hash.bytes);
+        assert!(sorted.bytes <= hash.bytes);
+    }
+
+    #[test]
+    fn probe_cap_recall_is_monotone_and_reaches_one() {
+        let rows = probe_cap_sweep(Scale::Small, 93);
+        for w in rows.windows(2) {
+            assert!(w[1].recall >= w[0].recall - 1e-9, "recall must not drop");
+        }
+        assert!((rows.last().unwrap().recall - 1.0).abs() < 1e-9);
+        assert!(rows[0].recall > 0.5, "even tiny caps keep most matches");
+    }
+
+    #[test]
+    fn suffix_sweep_is_a_real_tradeoff() {
+        let rows = suffix_sweep(Scale::Small, 97);
+        assert!(rows.len() > 3);
+        for w in rows.windows(2) {
+            assert!(w[1].extra_scan_bytes < w[0].extra_scan_bytes);
+        }
+        assert!(rows.last().unwrap().directory_bits > rows.first().unwrap().directory_bits);
+    }
+
+    #[test]
+    fn parallel_reads_scale() {
+        let rows = parallel_scaling(Scale::Small, 95);
+        let single = rows[0].1;
+        let best = rows.iter().map(|&(_, qps)| qps).fold(0.0f64, f64::max);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 {
+            // Real scaling is only observable with real cores.
+            assert!(best > 1.5 * single, "parallel {best} vs single {single}");
+        } else {
+            // Single/dual-core machines: sharding must at least not collapse.
+            assert!(best > 0.4 * single, "parallel {best} vs single {single}");
+        }
+    }
+}

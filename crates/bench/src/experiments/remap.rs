@@ -1,0 +1,174 @@
+//! Fig. 10 — the impact of node re-mapping: (a) none, (b) long-only,
+//! (c) full workload-driven set cover.
+
+use broadmatch::{IndexConfig, MatchType, QueryWorkload, RemapMode};
+
+use crate::scenario::time;
+use crate::table::{fi, Table};
+use crate::{Scale, Scenario};
+
+/// One re-mapping variant's measurements.
+#[derive(Debug, Clone)]
+pub struct RemapRow {
+    /// Variant label.
+    pub label: String,
+    /// Wall time to process the whole trace, seconds.
+    pub seconds: f64,
+    /// Relative time, variant (a) = 100.
+    pub relative: f64,
+    /// Data nodes in the structure.
+    pub nodes: usize,
+    /// Model-predicted cost of the workload.
+    pub modeled_cost: f64,
+}
+
+/// Run the Fig. 10 comparison.
+///
+/// Calibration note (recorded in `EXPERIMENTS.md`): the paper uses
+/// `max_words = 10` against a real trace with much longer queries than our
+/// generator produces; we use `max_words = 5` so the ratio of enumerated
+/// subsets between variants matches the paper's regime, and we widen the
+/// probe cap so variant (a) really pays for its exhaustive enumeration.
+pub fn fig10(scale: Scale, seed: u64) -> Vec<RemapRow> {
+    println!("== Fig. 10: re-mapping variants (relative workload time) ==");
+    let scenario = Scenario::build(scale, seed);
+    let trace = scenario.trace(seed ^ 7);
+
+    let variants = [
+        ("(a) no re-mapping", RemapMode::None),
+        ("(b) long-only re-mapping", RemapMode::LongOnly),
+        ("(c) full set-cover re-mapping", RemapMode::Full),
+        ("(c') full + withdrawal steps", RemapMode::FullWithWithdrawals),
+    ];
+
+    let mut rows: Vec<RemapRow> = Vec::new();
+    let mut reference: Option<Vec<usize>> = None;
+    for (label, mode) in variants {
+        let mut config = IndexConfig::default();
+        config.remap = mode;
+        config.max_words = 5;
+        config.probe_cap = 1 << 16;
+        let (index, build_s) = time(|| scenario.build_index(config));
+
+        // All variants must return identical results.
+        let counts: Vec<usize> = trace
+            .iter()
+            .take(200)
+            .map(|q| index.query(q, MatchType::Broad).len())
+            .collect();
+        match &reference {
+            None => reference = Some(counts),
+            Some(r) => assert_eq!(r, &counts, "{label} changed results"),
+        }
+
+        let (hits, run_s) = time(|| {
+            let mut hits = 0usize;
+            for q in &trace {
+                hits += index.query(q, MatchType::Broad).len();
+            }
+            hits
+        });
+        let workload = QueryWorkload::from_texts(
+            index.vocab(),
+            scenario
+                .workload
+                .entries()
+                .iter()
+                .map(|(q, f)| (q.as_str(), *f)),
+        );
+        let modeled = index.modeled_cost(&workload).breakdown.total();
+        let stats = index.stats();
+        println!(
+            "{label}: built in {:.1}s, {} nodes, {} hits",
+            build_s,
+            fi(stats.nodes as f64),
+            fi(hits as f64)
+        );
+        rows.push(RemapRow {
+            label: label.to_string(),
+            seconds: run_s,
+            relative: 0.0,
+            nodes: stats.nodes,
+            modeled_cost: modeled,
+        });
+    }
+
+    let base = rows[0].seconds;
+    for r in &mut rows {
+        r.relative = r.seconds / base * 100.0;
+    }
+
+    let mut t = Table::new(&["variant", "time_s", "relative", "nodes", "modeled_cost"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.label.clone(),
+            format!("{:.2}", r.seconds),
+            format!("{:.1}", r.relative),
+            fi(r.nodes as f64),
+            fi(r.modeled_cost),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper: (b) is a large improvement over (a); (c) gains ~10% more relative to (b)\n"
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remapping_improves_access_counts_and_model_cost() {
+        // Wall-clock comparisons are flaky under parallel test load, so the
+        // test asserts on deterministic tracked accesses; the experiment
+        // binary reports the wall-clock Fig. 10 numbers.
+        use broadmatch_memcost::CountingTracker;
+
+        let scenario = crate::Scenario::build(Scale::Small, 31);
+        let trace = scenario.trace(31 ^ 7);
+        let sample: Vec<&str> = trace.iter().take(2_000).copied().collect();
+
+        let measure = |mode: RemapMode| -> (u64, f64, usize) {
+            let mut config = IndexConfig::default();
+            config.remap = mode;
+            config.max_words = 5;
+            config.probe_cap = 1 << 16;
+            let index = scenario.build_index(config);
+            let mut t = CountingTracker::new();
+            for q in &sample {
+                index.query_tracked(q, MatchType::Broad, &mut t);
+            }
+            let workload = QueryWorkload::from_texts(
+                index.vocab(),
+                scenario
+                    .workload
+                    .entries()
+                    .iter()
+                    .map(|(q, f)| (q.as_str(), *f)),
+            );
+            let modeled = index.modeled_cost(&workload).breakdown.total();
+            (t.random_accesses, modeled, index.stats().nodes)
+        };
+
+        let (acc_a, cost_a, _nodes_a) = measure(RemapMode::None);
+        let (acc_b, cost_b, nodes_b) = measure(RemapMode::LongOnly);
+        let (acc_c, cost_c, nodes_c) = measure(RemapMode::Full);
+
+        assert!(
+            acc_b < acc_a,
+            "long-only random accesses {acc_b} should be below no-remap {acc_a}"
+        );
+        assert!(
+            acc_c <= acc_b,
+            "full remap accesses {acc_c} should not exceed long-only {acc_b}"
+        );
+        assert!(nodes_c <= nodes_b, "full remap should not add nodes");
+        assert!(cost_b <= cost_a * 1.001);
+        assert!(
+            cost_c <= cost_b * 1.001,
+            "full remap modeled cost {cost_c} should not exceed long-only {cost_b}"
+        );
+    }
+}

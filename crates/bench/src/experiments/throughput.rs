@@ -1,0 +1,165 @@
+//! The Section VII-A throughput comparison: the hash structure vs both
+//! inverted-index baselines (paper: 99× the unmodified baseline, >1300× the
+//! modified one), plus the "no-merge" sanity variant.
+
+use broadmatch::{IndexConfig, MatchType, RemapMode};
+use broadmatch_invidx::{ModifiedInvertedIndex, UnmodifiedInvertedIndex};
+use broadmatch_memcost::NullTracker;
+
+use crate::scenario::time;
+use crate::table::{f2, fi, Table};
+use crate::{Scale, Scenario};
+
+/// Results of the throughput experiment (queries/second).
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// The paper's hash structure ("simplified version … no re-mapping and
+    /// no workload-adaptation", i.e. [`RemapMode::None`]).
+    pub hash_qps: f64,
+    /// Baseline I.
+    pub unmodified_qps: f64,
+    /// Baseline II.
+    pub modified_qps: f64,
+    /// Baseline II without merge bookkeeping (posting traversal only).
+    pub traverse_only_qps: f64,
+}
+
+/// Run the comparison; all structures index the same ads and replay the
+/// same trace, and results are cross-checked for equality first.
+pub fn run(scale: Scale, seed: u64) -> ThroughputReport {
+    println!("== §VII-A: broad-match throughput, hash structure vs inverted indexes ==");
+    let scenario = Scenario::build(scale, seed);
+    // The paper's VII-A build is the "simplified version" — no workload
+    // adaptation and no general re-mapping; long phrases still map to
+    // bounded locators (Section IV-B) and the probe cap is widened so
+    // results are exact and comparable to the baselines.
+    let mut config = IndexConfig::default();
+    config.remap = RemapMode::LongOnly;
+    config.max_words = 10;
+    config.probe_cap = 1 << 20;
+    let (index, build_hash) = time(|| scenario.build_index(config));
+    let (unmodified, build_unmod) =
+        time(|| UnmodifiedInvertedIndex::build(&scenario.ads).expect("valid ads"));
+    let (modified, build_mod) =
+        time(|| ModifiedInvertedIndex::build(&scenario.ads).expect("valid ads"));
+    println!(
+        "built: hash {:.1}s, unmodified-inverted {:.1}s, modified-inverted {:.1}s",
+        build_hash, build_unmod, build_mod
+    );
+
+    // Cross-check result equality on a sample before timing anything.
+    let check = scenario.trace(seed ^ 1);
+    for q in check.iter().take(300) {
+        let mut a: Vec<u64> = index
+            .query(q, MatchType::Broad)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        let mut b: Vec<u64> = unmodified
+            .query_broad(q)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        let mut c: Vec<u64> = modified
+            .query_broad(q)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(a, b, "hash vs unmodified disagree on {q:?}");
+        assert_eq!(a, c, "hash vs modified disagree on {q:?}");
+    }
+
+    let trace = scenario.trace(seed ^ 2);
+
+    // Time-budgeted sampling: each structure replays the (identical) trace
+    // until the budget elapses — the slow baselines would otherwise take
+    // the better part of an hour per replay at the large scale.
+    let budget = std::time::Duration::from_secs(8);
+    let measure_qps = |mut run: Box<dyn FnMut(&str) -> usize + '_>| -> f64 {
+        let start = std::time::Instant::now();
+        let mut done = 0usize;
+        let mut hits = 0usize;
+        for q in &trace {
+            hits += run(q);
+            done += 1;
+            if done.is_multiple_of(512) && start.elapsed() > budget {
+                break;
+            }
+        }
+        std::hint::black_box(hits);
+        done as f64 / start.elapsed().as_secs_f64()
+    };
+
+    let report = ThroughputReport {
+        hash_qps: measure_qps(Box::new(|q| index.query(q, MatchType::Broad).len())),
+        unmodified_qps: measure_qps(Box::new(|q| unmodified.query_broad(q).len())),
+        modified_qps: measure_qps(Box::new(|q| modified.query_broad(q).len())),
+        traverse_only_qps: measure_qps(Box::new(|q| {
+            let mut tracker = NullTracker;
+            modified.traverse_only(q, &mut tracker) as usize
+        })),
+    };
+
+    let vs = |qps: f64| -> String {
+        let r = report.hash_qps / qps;
+        if r >= 1.0 {
+            format!("{}x slower", f2(r))
+        } else {
+            format!("{}x faster", f2(1.0 / r))
+        }
+    };
+    let mut t = Table::new(&["structure", "queries/s", "vs hash"]);
+    t.row_owned(vec!["hash word-set index".into(), fi(report.hash_qps), "1.00x".into()]);
+    t.row_owned(vec![
+        "unmodified inverted (rarest word)".into(),
+        fi(report.unmodified_qps),
+        vs(report.unmodified_qps),
+    ]);
+    t.row_owned(vec![
+        "modified inverted (counting merge)".into(),
+        fi(report.modified_qps),
+        vs(report.modified_qps),
+    ]);
+    t.row_owned(vec![
+        "modified, traversal only (no merge)".into(),
+        fi(report.traverse_only_qps),
+        vs(report.traverse_only_qps),
+    ]);
+    t.print();
+    println!(
+        "paper (180M ads): unmodified ~99x slower, modified >1300x slower. The factors\n\
+         grow with corpus size (posting volume is linear in ads; hash cost is not) —\n\
+         see EXPERIMENTS.md for the per-scale series.\n"
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_structure_dominates() {
+        // The paper's factors (99x / 1300x) need its 180M-ad scale; at the
+        // test's 20K ads we assert the ordering and a clear gap. Wall-clock
+        // ratios can wobble under parallel test load, so allow one retry
+        // before declaring failure.
+        let check = |r: &ThroughputReport| {
+            r.hash_qps > 1.2 * r.unmodified_qps
+                && r.hash_qps > 5.0 * r.modified_qps
+                && r.unmodified_qps > r.modified_qps
+        };
+        let first = run(Scale::Small, 11);
+        if check(&first) {
+            return;
+        }
+        let second = run(Scale::Small, 12);
+        assert!(
+            check(&second),
+            "throughput ordering failed twice: first {first:?}, second {second:?}"
+        );
+    }
+}

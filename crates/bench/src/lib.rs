@@ -1,0 +1,15 @@
+//! Shared harness for the experiment suite.
+//!
+//! Every table and figure of the paper's evaluation (Section VII) has a
+//! regenerator in [`experiments`]; the `experiments` binary dispatches to
+//! them. `cargo run -p broadmatch-bench --release --bin experiments -- all`
+//! reproduces the full evaluation at the configured scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scenario;
+pub mod table;
+
+pub use scenario::{Scale, Scenario};

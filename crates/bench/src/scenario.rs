@@ -1,0 +1,141 @@
+//! Scenario builders: corpora, workloads and indexes at standard scales.
+
+use broadmatch::{AdInfo, BroadMatchIndex, IndexBuilder, IndexConfig};
+use broadmatch_corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
+
+/// Experiment scale. The paper runs 180M ads on a 16 GB server; these
+/// scales keep the same distributional shape at laptop-friendly sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~20K ads — seconds per experiment, used by tests.
+    Small,
+    /// ~200K ads — the default for `experiments`.
+    Medium,
+    /// ~1M ads — minutes per experiment.
+    Large,
+}
+
+impl Scale {
+    /// Parse from a CLI word.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// Number of ads at this scale.
+    pub fn n_ads(self) -> usize {
+        match self {
+            Scale::Small => 20_000,
+            Scale::Medium => 200_000,
+            Scale::Large => 1_000_000,
+        }
+    }
+
+    /// Number of distinct workload queries.
+    pub fn n_queries(self) -> usize {
+        match self {
+            Scale::Small => 2_000,
+            Scale::Medium => 20_000,
+            Scale::Large => 50_000,
+        }
+    }
+
+    /// Length of a replay trace.
+    pub fn trace_len(self) -> usize {
+        match self {
+            Scale::Small => 20_000,
+            Scale::Medium => 100_000,
+            Scale::Large => 500_000,
+        }
+    }
+}
+
+/// A fully-built experiment scenario: corpus, workload, and the `(phrase,
+/// info)` pairs all structures are built from.
+pub struct Scenario {
+    /// The generated ad corpus.
+    pub corpus: AdCorpus,
+    /// The generated query workload.
+    pub workload: Workload,
+    /// `(phrase, info)` pairs shared by every structure under test.
+    pub ads: Vec<(String, AdInfo)>,
+    /// Scale this scenario was built at.
+    pub scale: Scale,
+}
+
+impl Scenario {
+    /// Build the standard scenario at `scale` with `seed`.
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let corpus = AdCorpus::generate(CorpusConfig::benchmark(scale.n_ads(), seed));
+        let workload = Workload::generate(
+            QueryGenConfig::benchmark(scale.n_queries(), seed.wrapping_add(1)),
+            &corpus,
+        );
+        let ads: Vec<(String, AdInfo)> = corpus
+            .ads()
+            .iter()
+            .map(|a| (a.phrase.clone(), a.info))
+            .collect();
+        Scenario {
+            corpus,
+            workload,
+            ads,
+            scale,
+        }
+    }
+
+    /// Build the paper's index over this scenario with `config`, feeding it
+    /// the workload when the config wants one.
+    pub fn build_index(&self, config: IndexConfig) -> BroadMatchIndex {
+        let mut builder = IndexBuilder::with_config(config);
+        for (phrase, info) in &self.ads {
+            builder.add(phrase, *info).expect("generated phrases are valid");
+        }
+        builder.set_workload(self.workload.to_builder_workload());
+        builder.build().expect("valid config")
+    }
+
+    /// Sample a replay trace of the scenario's standard length.
+    pub fn trace(&self, seed: u64) -> Vec<&str> {
+        self.workload.sample_trace(self.scale.trace_len(), seed)
+    }
+}
+
+/// Wall-clock a closure, returning (result, seconds).
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use broadmatch::MatchType;
+
+    #[test]
+    fn small_scenario_builds_and_queries() {
+        let s = Scenario::build(Scale::Small, 42);
+        assert!(s.ads.len() > 10_000);
+        let index = s.build_index(IndexConfig::default());
+        let trace = s.trace(1);
+        assert_eq!(trace.len(), Scale::Small.trace_len());
+        let hits: usize = trace
+            .iter()
+            .take(500)
+            .map(|q| index.query(q, MatchType::Broad).len())
+            .sum();
+        assert!(hits > 0, "trace must produce broad matches");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -1,0 +1,309 @@
+//! The paper's workload cost formulas (Section V-A): `Cost_Hash(WL, M)`,
+//! `Cost_Node(WL, M)` and the per-node `weight(S)` of equation (2).
+//!
+//! With the affine `Cost_Scan` of `broadmatch-memcost` the node cost
+//! decomposes per entry, which both the evaluator here and the optimizer's
+//! weight function exploit:
+//!
+//! ```text
+//! weight(S at L) = acc(L) · Cost_Random
+//!                + Σ_{g ∈ S} acc_ge(L, |g|) · Cost_Scan(bytes(g))
+//! ```
+//!
+//! where `acc(L) = Σ_{Q ⊇ L} frq(Q)` is the frequency mass of queries that
+//! must visit a node with locator `L`, and `acc_ge(L, ℓ)` restricts that to
+//! queries with at least `ℓ` words (shorter queries stop scanning before an
+//! `ℓ`-word entry thanks to the in-node ordering).
+
+use std::collections::HashMap;
+
+use broadmatch_memcost::CostModel;
+
+use crate::directory::SLOT_BYTES;
+use crate::hash::FxBuildHasher;
+use crate::optimize::Mapping;
+use crate::wordset::subset_count;
+use crate::{QueryWorkload, WordSet};
+
+/// Longest query length tracked exactly by the accumulator; longer queries
+/// are clamped (they are vanishingly rare and the clamp only affects which
+/// entries are assumed scanned).
+pub(crate) const MAX_TRACKED_LEN: usize = 32;
+
+/// Per-locator access frequencies, bucketed by query length.
+///
+/// `hist[ℓ]` after suffix-summing is `acc_ge(L, ℓ)`: the total frequency of
+/// workload queries `Q ⊇ L` with `|Q| ≥ ℓ`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LenHist {
+    /// Suffix sums once [`AccTable::build`] finalizes.
+    acc_ge: Vec<u64>,
+}
+
+impl LenHist {
+    pub(crate) fn acc_total(&self) -> u64 {
+        self.acc_ge.first().copied().unwrap_or(0)
+    }
+
+    pub(crate) fn acc_ge(&self, len: usize) -> u64 {
+        let i = len.min(MAX_TRACKED_LEN);
+        self.acc_ge.get(i).copied().unwrap_or(0)
+    }
+}
+
+/// Co-access table: for every word set that occurs as a subset of some
+/// workload query (bounded by `max_words`), the frequency mass of queries
+/// containing it.
+#[derive(Debug, Default)]
+pub(crate) struct AccTable {
+    map: HashMap<WordSet, LenHist, FxBuildHasher>,
+}
+
+impl AccTable {
+    /// Enumerate each workload query's subsets (sizes `1..=max_words`,
+    /// capped at `probe_cap` per query — mirroring the query-time cutoff)
+    /// and accumulate frequencies.
+    pub(crate) fn build(workload: &QueryWorkload, max_words: usize, probe_cap: usize) -> Self {
+        let mut raw: HashMap<WordSet, Vec<u64>, FxBuildHasher> = HashMap::default();
+        for q in workload.queries() {
+            let len_bucket = q.total_len.min(MAX_TRACKED_LEN);
+            let mut iter = q.set.subsets(max_words);
+            let mut probes = 0usize;
+            while let Some(subset) = iter.next_subset() {
+                if probes >= probe_cap {
+                    break;
+                }
+                probes += 1;
+                let hist = raw
+                    .entry(WordSet::from_sorted(subset.to_vec()))
+                    .or_insert_with(|| vec![0; MAX_TRACKED_LEN + 1]);
+                hist[len_bucket] += q.freq;
+            }
+        }
+        // Convert plain histograms to suffix sums.
+        let map = raw
+            .into_iter()
+            .map(|(set, hist)| {
+                let mut acc = hist;
+                for i in (0..MAX_TRACKED_LEN).rev() {
+                    acc[i] += acc[i + 1];
+                }
+                (set, LenHist { acc_ge: acc })
+            })
+            .collect();
+        AccTable { map }
+    }
+
+    pub(crate) fn get(&self, set: &WordSet) -> Option<&LenHist> {
+        self.map.get(set)
+    }
+
+    pub(crate) fn acc_total(&self, set: &WordSet) -> u64 {
+        self.get(set).map_or(0, |h| h.acc_total())
+    }
+
+    pub(crate) fn acc_ge(&self, set: &WordSet, len: usize) -> u64 {
+        self.get(set).map_or(0, |h| h.acc_ge(len))
+    }
+
+    #[allow(dead_code)] // used by optimizer diagnostics
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The two components of `Cost(WL, M)` (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// `Cost_Hash(WL, M)`: directory probes (independent of the mapping).
+    pub hash_cost: f64,
+    /// `Cost_Node(WL, M)`: random accesses to data nodes plus scans.
+    pub node_cost: f64,
+}
+
+impl CostBreakdown {
+    /// `Cost(WL, M) = Cost_Hash + Cost_Node`.
+    pub fn total(&self) -> f64 {
+        self.hash_cost + self.node_cost
+    }
+}
+
+/// Model-predicted cost of executing a workload against a mapping, plus
+/// summary statistics. Produced by [`crate::BroadMatchIndex::modeled_cost`]
+/// and by the optimizer ablations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingCost {
+    /// Cost components.
+    pub breakdown: CostBreakdown,
+    /// Number of data nodes under the mapping.
+    pub nodes: usize,
+    /// Expected node random accesses per unit workload frequency.
+    pub expected_node_accesses: f64,
+}
+
+/// Evaluate `Cost(WL, M)` for `groups` under `mapping`.
+///
+/// `group_bytes[i]` is the encoded size of group `i`'s node entry;
+/// `group_len[i]` is its word count.
+pub(crate) fn evaluate_mapping(
+    group_words: &[WordSet],
+    group_bytes: &[usize],
+    mapping: &Mapping,
+    workload: &QueryWorkload,
+    cost: &CostModel,
+    max_words: usize,
+    probe_cap: usize,
+) -> MappingCost {
+    assert_eq!(group_words.len(), group_bytes.len());
+    let acc = AccTable::build(workload, max_words, probe_cap);
+
+    // Cost_Hash: each query pays (subset lookups) probes, each a random
+    // access reading mem_hash bytes.
+    let mut hash_cost = 0.0;
+    for q in workload.queries() {
+        let lookups = subset_count(q.total_len, max_words).min(probe_cap as u64);
+        hash_cost += q.freq as f64
+            * lookups as f64
+            * (cost.cost_random + cost.cost_scan(SLOT_BYTES));
+    }
+
+    // Cost_Node: group nodes by locator and apply weight(S).
+    let mut nodes: HashMap<&WordSet, Vec<usize>, FxBuildHasher> = HashMap::default();
+    for g in 0..group_words.len() {
+        nodes.entry(mapping.locator(g)).or_default().push(g);
+    }
+    let mut node_cost = 0.0;
+    let mut expected_node_accesses = 0.0;
+    for (locator, members) in &nodes {
+        let visits = acc.acc_total(locator) as f64;
+        node_cost += visits * cost.cost_random;
+        expected_node_accesses += visits;
+        for &g in members {
+            // Equation (2) charges Cost_Scan per stored phrase; entries are
+            // contiguous, so the per-entry scan term is exact under any
+            // monotone Cost_Scan.
+            let scanned = acc.acc_ge(locator, group_words[g].len()) as f64;
+            node_cost += scanned * cost.cost_scan(group_bytes[g]);
+        }
+    }
+
+    MappingCost {
+        breakdown: CostBreakdown {
+            hash_cost,
+            node_cost,
+        },
+        nodes: nodes.len(),
+        expected_node_accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WeightedQuery, WordId};
+
+    fn ws(ids: &[u32]) -> WordSet {
+        WordSet::from_unsorted(ids.iter().map(|&i| WordId(i)).collect())
+    }
+
+    fn wl(queries: &[(&[u32], u64)]) -> QueryWorkload {
+        let mut w = QueryWorkload::new();
+        for &(ids, freq) in queries {
+            w.push(WeightedQuery {
+                set: ws(ids),
+                total_len: ids.len(),
+                freq,
+            });
+        }
+        w
+    }
+
+    #[test]
+    fn acc_table_counts_supersets() {
+        let workload = wl(&[(&[1, 2, 3], 10), (&[1, 2], 5), (&[4], 7)]);
+        let acc = AccTable::build(&workload, 3, 1 << 20);
+        assert_eq!(acc.acc_total(&ws(&[1])), 15);
+        assert_eq!(acc.acc_total(&ws(&[1, 2])), 15);
+        assert_eq!(acc.acc_total(&ws(&[1, 2, 3])), 10);
+        assert_eq!(acc.acc_total(&ws(&[4])), 7);
+        assert_eq!(acc.acc_total(&ws(&[5])), 0);
+    }
+
+    #[test]
+    fn acc_ge_respects_query_length() {
+        let workload = wl(&[(&[1, 2, 3], 10), (&[1, 2], 5)]);
+        let acc = AccTable::build(&workload, 3, 1 << 20);
+        // Queries containing {1}: both. With >= 3 words: only the first.
+        assert_eq!(acc.acc_ge(&ws(&[1]), 2), 15);
+        assert_eq!(acc.acc_ge(&ws(&[1]), 3), 10);
+        assert_eq!(acc.acc_ge(&ws(&[1]), 4), 0);
+    }
+
+    #[test]
+    fn acc_table_respects_max_words() {
+        let workload = wl(&[(&[1, 2, 3], 1)]);
+        let acc = AccTable::build(&workload, 2, 1 << 20);
+        assert_eq!(acc.acc_total(&ws(&[1, 2])), 1);
+        assert_eq!(acc.acc_total(&ws(&[1, 2, 3])), 0, "size-3 subsets not enumerated");
+    }
+
+    #[test]
+    fn identity_mapping_cost_components() {
+        let groups = vec![ws(&[1]), ws(&[1, 2])];
+        let bytes = vec![50usize, 80];
+        let mapping = Mapping::identity(&groups);
+        let workload = wl(&[(&[1, 2], 10)]);
+        let cost = CostModel {
+            cost_random: 100.0,
+            scan_base: 0.0,
+            scan_byte: 1.0,
+        };
+        let mc = evaluate_mapping(&groups, &bytes, &mapping, &workload, &cost, 8, 1 << 20);
+        // Hash: 3 subsets * (100 + 16) * 10.
+        assert!((mc.breakdown.hash_cost - 10.0 * 3.0 * 116.0).abs() < 1e-6);
+        // Nodes: both visited 10x => 2 * 10 * 100 random + scans 10*(50+80).
+        assert!((mc.breakdown.node_cost - (2000.0 + 1300.0)).abs() < 1e-6);
+        assert_eq!(mc.nodes, 2);
+    }
+
+    #[test]
+    fn merging_coaccessed_nodes_reduces_model_cost() {
+        // Groups {1} and {1,2}; every query is {1,2}: merging the second
+        // group into locator {1} saves a random access per query.
+        let groups = vec![ws(&[1]), ws(&[1, 2])];
+        let bytes = vec![50usize, 80];
+        let workload = wl(&[(&[1, 2], 10)]);
+        let cost = CostModel::dram();
+
+        let identity = Mapping::identity(&groups);
+        let merged = Mapping::new(vec![ws(&[1]), ws(&[1])]);
+        let c_id = evaluate_mapping(&groups, &bytes, &identity, &workload, &cost, 8, 1 << 20);
+        let c_mg = evaluate_mapping(&groups, &bytes, &merged, &workload, &cost, 8, 1 << 20);
+        assert!(
+            c_mg.breakdown.node_cost < c_id.breakdown.node_cost,
+            "merged {} !< identity {}",
+            c_mg.breakdown.node_cost,
+            c_id.breakdown.node_cost
+        );
+        // Hash cost is mapping-independent.
+        assert_eq!(c_mg.breakdown.hash_cost, c_id.breakdown.hash_cost);
+    }
+
+    #[test]
+    fn merging_rarely_coaccessed_nodes_increases_model_cost() {
+        // Group {2} is hot via query {2}; group {1,2} is huge and cold.
+        // Merging the cold giant under locator {2} forces the hot queries
+        // to scan it... but only if their length allows: use query {2,3}
+        // (length 2 >= |{1,2}|) so the scan actually happens.
+        let groups = vec![ws(&[2]), ws(&[1, 2])];
+        let bytes = vec![10usize, 10_000];
+        let workload = wl(&[(&[2, 3], 100), (&[1, 2], 1)]);
+        let cost = CostModel::dram();
+
+        let identity = Mapping::identity(&groups);
+        let merged = Mapping::new(vec![ws(&[2]), ws(&[2])]);
+        let c_id = evaluate_mapping(&groups, &bytes, &identity, &workload, &cost, 8, 1 << 20);
+        let c_mg = evaluate_mapping(&groups, &bytes, &merged, &workload, &cost, 8, 1 << 20);
+        assert!(c_mg.breakdown.node_cost > c_id.breakdown.node_cost);
+    }
+}

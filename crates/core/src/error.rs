@@ -1,0 +1,57 @@
+//! Build-time errors.
+
+/// Errors surfaced while building or maintaining an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An ad phrase produced no tokens ("!!!" or empty string).
+    EmptyPhrase {
+        /// The offending phrase, verbatim.
+        phrase: String,
+    },
+    /// A phrase exceeded the format's limits (more than 255 words).
+    PhraseTooLong {
+        /// The offending phrase, verbatim.
+        phrase: String,
+        /// Token count after tokenization.
+        words: usize,
+    },
+    /// Configuration rejected (e.g. `max_words == 0`).
+    InvalidConfig {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyPhrase { phrase } => {
+                write!(f, "ad phrase {phrase:?} contains no indexable words")
+            }
+            BuildError::PhraseTooLong { phrase, words } => {
+                write!(f, "ad phrase {phrase:?} has {words} words, exceeding the format limit")
+            }
+            BuildError::InvalidConfig { reason } => write!(f, "invalid index config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BuildError::EmptyPhrase {
+            phrase: "!!!".into(),
+        };
+        assert!(e.to_string().contains("!!!"));
+        let e = BuildError::PhraseTooLong {
+            phrase: "x".into(),
+            words: 300,
+        };
+        assert!(e.to_string().contains("300"));
+    }
+}

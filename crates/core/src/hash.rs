@@ -1,0 +1,152 @@
+//! Hashing: an FxHash-style hasher and the `wordhash` word-set hash.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::WordId;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-FxHash multiply-rotate hasher, implemented in-repo to avoid an
+/// extra dependency. Low quality but extremely fast for short integer keys —
+/// the right trade-off for interning and word-id maps (hash-DoS is not a
+/// concern for an index rebuilt from trusted corpora).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; use as the `S` parameter of `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The paper's `wordhash : 2^W → N`: a 64-bit hash of a **sorted** slice of
+/// word ids identifying a set of words.
+///
+/// Order sensitivity is fine because [`crate::WordSet`] canonicalizes to
+/// sorted order; feeding an unsorted slice is a bug, caught by a debug
+/// assertion. Collisions between different word sets are tolerated — data
+/// nodes store the actual word ids and matching verifies them (Section
+/// III-B: "it is necessary to represent the phrases themselves due to the
+/// possibility of hash collisions").
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch::{wordhash, WordId};
+///
+/// let a = [WordId(3), WordId(17), WordId(99)];
+/// let b = [WordId(3), WordId(17), WordId(100)];
+/// assert_eq!(wordhash(&a), wordhash(&a));
+/// assert_ne!(wordhash(&a), wordhash(&b));
+/// ```
+#[inline]
+pub fn wordhash(sorted_ids: &[WordId]) -> u64 {
+    debug_assert!(
+        sorted_ids.windows(2).all(|w| w[0] < w[1]),
+        "wordhash input must be sorted and duplicate-free"
+    );
+    // A stronger finalizer than FxHash: word-set hashes feed the directory
+    // suffix of Section VI, so their low bits must be well distributed.
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (sorted_ids.len() as u64);
+    for &WordId(id) in sorted_ids {
+        h ^= splitmix64(id as u64);
+        h = h.rotate_left(27).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+    splitmix64(h)
+}
+
+/// The splitmix64 finalizer — full-avalanche mixing of a 64-bit value.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn fx_hasher_is_deterministic() {
+        let bh = FxBuildHasher::default();
+        let a = bh.hash_one("cheap books");
+        let b = bh.hash_one("cheap books");
+        assert_eq!(a, b);
+        assert_ne!(bh.hash_one("cheap books"), bh.hash_one("cheap book"));
+    }
+
+    #[test]
+    fn wordhash_distinguishes_sets() {
+        let mut seen = HashSet::new();
+        // All 2-subsets of 100 words: no collisions expected at this scale.
+        for i in 0..100u32 {
+            for j in (i + 1)..100 {
+                let h = wordhash(&[WordId(i), WordId(j)]);
+                assert!(seen.insert(h), "collision for ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn wordhash_depends_on_length() {
+        assert_ne!(wordhash(&[]), wordhash(&[WordId(0)]));
+        assert_ne!(wordhash(&[WordId(1)]), wordhash(&[WordId(1), WordId(2)]));
+    }
+
+    #[test]
+    fn wordhash_low_bits_are_distributed() {
+        // The directory uses s-bit suffixes; check bucket balance for s=8.
+        let mut buckets = [0u32; 256];
+        for i in 0..10_000u32 {
+            let h = wordhash(&[WordId(i)]);
+            buckets[(h & 0xFF) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        // ~39 expected per bucket; allow generous slack.
+        assert!(min > 10, "underfull bucket: {min}");
+        assert!(max < 100, "overfull bucket: {max}");
+    }
+}

@@ -1,0 +1,692 @@
+//! The queryable index: subset probing, node scanning, match semantics.
+
+use broadmatch_memcost::{AccessTracker, NullTracker};
+
+use crate::arena::Arena;
+use crate::build::IndexConfig;
+use crate::costmodel::{evaluate_mapping, MappingCost};
+use crate::directory::NodeDirectory;
+use crate::node::{scan_node, Codec, ScanScratch};
+use crate::optimize::{Mapping, MappingStats};
+use crate::text::{fold_duplicates, tokenize};
+use crate::wordset::is_sorted_subset;
+use crate::{AdId, AdInfo, QueryWorkload, Vocabulary, WordId, WordSet};
+
+/// The matching semantics of sponsored search (Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchType {
+    /// All words of the bid must appear in the query (word order and
+    /// position irrelevant; duplicate words must match in multiplicity).
+    Broad,
+    /// Bid and query must contain exactly the same words in the same order.
+    Exact,
+    /// The bid phrase must appear in the query as a contiguous word
+    /// sequence, in order.
+    Phrase,
+}
+
+/// One matched advertisement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchHit {
+    /// The matched ad.
+    pub ad: AdId,
+    /// Its metadata, decoded from the data node.
+    pub info: AdInfo,
+}
+
+/// Per-query processing statistics (observability; see
+/// [`BroadMatchIndex::query_with_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Directory probes issued (`Σ C(|Q|, i)` bounded by the probe cap).
+    pub probes: usize,
+    /// Probes that found a node.
+    pub probe_hits: usize,
+    /// Distinct data nodes scanned.
+    pub nodes_visited: usize,
+    /// Whether the probe cap cut enumeration short (the §IV-B heuristic
+    /// cutoff fired; results may be incomplete for this query).
+    pub truncated: bool,
+    /// Matching ads returned (after exclusion filtering).
+    pub hits: usize,
+}
+
+/// Size and shape statistics of a built index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Advertisements indexed.
+    pub ads: usize,
+    /// Distinct folded word sets (groups).
+    pub groups: usize,
+    /// Data nodes (directory entries).
+    pub nodes: usize,
+    /// Bytes of node storage.
+    pub arena_bytes: usize,
+    /// Bytes of directory storage.
+    pub directory_bytes: usize,
+    /// Longest node locator, which bounds subset enumeration.
+    pub max_locator_len: usize,
+    /// Distinct interned words (including folded multiplicity tokens).
+    pub vocab_words: usize,
+}
+
+/// The broad-match index of the paper (Sections III–VI).
+///
+/// Construct with [`crate::IndexBuilder`]; query with
+/// [`BroadMatchIndex::query`] or, to account memory accesses, with
+/// [`BroadMatchIndex::query_tracked`].
+#[derive(Debug)]
+pub struct BroadMatchIndex {
+    config: IndexConfig,
+    vocab: Vocabulary,
+    arena: Arena,
+    directory: NodeDirectory,
+    codec: Codec,
+    mapping: Mapping,
+    group_words: Vec<WordSet>,
+    group_bytes: Vec<usize>,
+    n_ads: u32,
+    max_locator_len: usize,
+    /// Per-ad exclusion word sets (paper, Section I): an ad is suppressed
+    /// when any of its exclusion words occurs in the query.
+    exclusions: std::collections::HashMap<AdId, WordSet, crate::hash::FxBuildHasher>,
+}
+
+impl BroadMatchIndex {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        config: IndexConfig,
+        vocab: Vocabulary,
+        arena: Arena,
+        directory: NodeDirectory,
+        codec: Codec,
+        mapping: Mapping,
+        group_words: Vec<WordSet>,
+        group_bytes: Vec<usize>,
+        n_ads: u32,
+        max_locator_len: usize,
+    ) -> Self {
+        BroadMatchIndex {
+            config,
+            vocab,
+            arena,
+            directory,
+            codec,
+            mapping,
+            group_words,
+            group_bytes,
+            n_ads,
+            max_locator_len,
+            exclusions: std::collections::HashMap::default(),
+        }
+    }
+
+    pub(crate) fn with_exclusions(
+        mut self,
+        exclusions: std::collections::HashMap<AdId, WordSet, crate::hash::FxBuildHasher>,
+    ) -> Self {
+        self.exclusions = exclusions;
+        self
+    }
+
+    pub(crate) fn exclusions(
+        &self,
+    ) -> &std::collections::HashMap<AdId, WordSet, crate::hash::FxBuildHasher> {
+        &self.exclusions
+    }
+
+    /// Run `query_text` with the given matching semantics.
+    pub fn query(&self, query_text: &str, match_type: MatchType) -> Vec<MatchHit> {
+        self.query_tracked(query_text, match_type, &mut NullTracker)
+    }
+
+    /// Run a query and report per-query processing statistics alongside the
+    /// hits — the numbers an operator dashboards (probe volume, node
+    /// visits, cutoff truncation).
+    pub fn query_with_stats(
+        &self,
+        query_text: &str,
+        match_type: MatchType,
+    ) -> (Vec<MatchHit>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let hits =
+            self.query_internal(query_text, match_type, &mut NullTracker, Some(&mut stats));
+        stats.hits = hits.len();
+        (hits, stats)
+    }
+
+    /// Like [`BroadMatchIndex::query`], reporting every memory access to
+    /// `tracker` (byte accounting, cost models, hardware simulation).
+    pub fn query_tracked<T: AccessTracker>(
+        &self,
+        query_text: &str,
+        match_type: MatchType,
+        tracker: &mut T,
+    ) -> Vec<MatchHit> {
+        self.query_internal(query_text, match_type, tracker, None)
+    }
+
+    fn query_internal<T: AccessTracker>(
+        &self,
+        query_text: &str,
+        match_type: MatchType,
+        tracker: &mut T,
+        mut stats: Option<&mut QueryStats>,
+    ) -> Vec<MatchHit> {
+        let tokens = tokenize(query_text);
+        let folded = fold_duplicates(&tokens);
+        if folded.is_empty() {
+            return Vec::new();
+        }
+        let qlen = folded.len();
+
+        // The word set used for subset probing depends on the semantics:
+        // phrase match must also probe lower multiplicities of repeated
+        // words (a bid "talk talk" appears contiguously in the query
+        // "talk talk talk", whose folded set only contains talk×3).
+        let probe_ids: Vec<WordId> = match match_type {
+            MatchType::Broad | MatchType::Exact => folded
+                .iter()
+                .filter_map(|t| self.vocab.get_folded(t))
+                .collect(),
+            MatchType::Phrase => folded
+                .iter()
+                .flat_map(|t| {
+                    (1..=t.count).map(|c| {
+                        crate::text::FoldedToken {
+                            word: t.word.clone(),
+                            count: c,
+                        }
+                        .key()
+                    })
+                })
+                .filter_map(|key| self.vocab.get(&key))
+                .collect(),
+        };
+        let probe_set = WordSet::from_unsorted(probe_ids);
+        if probe_set.is_empty() {
+            return Vec::new();
+        }
+
+        // Exact match needs the complete folded set; if any folded query
+        // token is unknown to the vocabulary, no bid can match exactly.
+        let exact_set: Option<WordSet> = if match_type == MatchType::Exact {
+            let mut ids = Vec::with_capacity(folded.len());
+            for t in &folded {
+                match self.vocab.get_folded(t) {
+                    Some(id) => ids.push(id),
+                    None => return Vec::new(),
+                }
+            }
+            Some(WordSet::from_unsorted(ids))
+        } else {
+            None
+        };
+
+        // Raw query token ids for order-sensitive matching; unknown words
+        // become None and never match a bid word.
+        let raw_query: Vec<Option<WordId>> =
+            tokens.iter().map(|t| self.vocab.get(t)).collect();
+
+        let mut hits = Vec::new();
+        let mut visited: Vec<(u32, u32)> = Vec::new();
+        let mut scratch = ScanScratch::default();
+
+        let max_subset = self.max_locator_len.min(probe_set.len());
+        let mut iter = probe_set.subsets(max_subset);
+        let mut probes = 0usize;
+        while let Some(subset) = iter.next_subset() {
+            if probes >= self.config.probe_cap {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.truncated = true;
+                }
+                break;
+            }
+            probes += 1;
+            let hash = crate::wordhash(subset);
+            let found = self.directory.lookup(hash, tracker);
+            tracker.branch(crate::node::SITE_PROBE, found.is_some());
+            if let Some(s) = stats.as_deref_mut() {
+                s.probes += 1;
+                if found.is_some() {
+                    s.probe_hits += 1;
+                }
+            }
+            let Some((start, end)) = found else {
+                continue;
+            };
+            if visited.contains(&(start, end)) {
+                continue; // hash collision or shared suffix: already scanned
+            }
+            visited.push((start, end));
+            if let Some(s) = stats.as_deref_mut() {
+                s.nodes_visited += 1;
+            }
+
+            let bytes = self.arena.slice(start as usize, end as usize);
+            match match_type {
+                MatchType::Broad => scan_node(
+                    bytes,
+                    start as u64,
+                    self.codec,
+                    qlen,
+                    &mut scratch,
+                    tracker,
+                    |entry_words| is_sorted_subset(entry_words, probe_set.ids()),
+                    |_, _, ad, info| hits.push(MatchHit { ad, info }),
+                ),
+                MatchType::Exact => {
+                    let target = exact_set.as_ref().expect("set for exact match");
+                    scan_node(
+                        bytes,
+                        start as u64,
+                        self.codec,
+                        qlen,
+                        &mut scratch,
+                        tracker,
+                        |entry_words| entry_words == target.ids(),
+                        |_, raw, ad, info| {
+                            if raw.len() == raw_query.len()
+                                && raw
+                                    .iter()
+                                    .zip(&raw_query)
+                                    .all(|(&w, q)| *q == Some(w))
+                            {
+                                hits.push(MatchHit { ad, info });
+                            }
+                        },
+                    )
+                }
+                MatchType::Phrase => scan_node(
+                    bytes,
+                    start as u64,
+                    self.codec,
+                    qlen,
+                    &mut scratch,
+                    tracker,
+                    |entry_words| is_sorted_subset(entry_words, probe_set.ids()),
+                    |_, raw, ad, info| {
+                        if contains_contiguous(&raw_query, raw) {
+                            hits.push(MatchHit { ad, info });
+                        }
+                    },
+                ),
+            }
+        }
+        if !self.exclusions.is_empty() {
+            // Exclusion phrases (Section I): drop hits whose campaign
+            // excluded any word present in the query.
+            hits.retain(|h| match self.exclusions.get(&h.ad) {
+                Some(excluded) => !excluded
+                    .ids()
+                    .iter()
+                    .any(|&w| probe_set.contains(w)),
+                None => true,
+            });
+        }
+        hits
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            ads: self.n_ads as usize,
+            groups: self.group_words.len(),
+            nodes: self.directory.entries(),
+            arena_bytes: self.arena.len(),
+            directory_bytes: self.directory.size_bytes(),
+            max_locator_len: self.max_locator_len,
+            vocab_words: self.vocab.len(),
+        }
+    }
+
+    /// The mapping the builder chose.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Summary of the mapping (nodes, re-mapped groups, synthetic locators).
+    pub fn mapping_stats(&self) -> MappingStats {
+        self.mapping.stats(&self.group_words)
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The vocabulary (shared with baselines so comparisons use identical
+    /// tokenization).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Model-predicted `Cost(WL, M)` of this index's mapping for `workload`
+    /// (Section V-A), without executing anything.
+    pub fn modeled_cost(&self, workload: &QueryWorkload) -> MappingCost {
+        evaluate_mapping(
+            &self.group_words,
+            &self.group_bytes,
+            &self.mapping,
+            workload,
+            &self.config.cost,
+            self.max_locator_len.max(1),
+            self.config.probe_cap,
+        )
+    }
+
+    /// Distinct word sets, index-aligned with [`Mapping::locator`].
+    pub fn group_words(&self) -> &[WordSet] {
+        &self.group_words
+    }
+
+    pub(crate) fn group_bytes(&self) -> &[usize] {
+        &self.group_bytes
+    }
+
+    pub(crate) fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    pub(crate) fn arena_mut(&mut self) -> &mut Arena {
+        &mut self.arena
+    }
+
+    pub(crate) fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    pub(crate) fn directory(&self) -> &NodeDirectory {
+        &self.directory
+    }
+
+    pub(crate) fn directory_mut(&mut self) -> &mut NodeDirectory {
+        &mut self.directory
+    }
+
+    pub(crate) fn vocab_mut(&mut self) -> &mut Vocabulary {
+        &mut self.vocab
+    }
+
+    /// Allocate the next ad id (maintenance inserts).
+    pub(crate) fn alloc_ad_id(&mut self) -> AdId {
+        let id = AdId(self.n_ads);
+        self.n_ads += 1;
+        id
+    }
+
+    pub(crate) fn note_ads_removed(&mut self, n: u32) {
+        self.n_ads = self.n_ads.saturating_sub(n);
+    }
+
+    pub(crate) fn note_locator_len(&mut self, len: usize) {
+        self.max_locator_len = self.max_locator_len.max(len);
+    }
+
+    pub(crate) fn max_locator_len(&self) -> usize {
+        self.max_locator_len
+    }
+
+    /// Decode every ad stored in the index (diagnostics, rebuilds, tests).
+    /// Order is storage order, not insertion order.
+    pub fn iter_all_ads(&self) -> Vec<(AdId, AdInfo)> {
+        let mut out = Vec::with_capacity(self.n_ads as usize);
+        for (start, end) in self.directory.extents() {
+            let bytes = self.arena.slice(start as usize, end as usize);
+            for entry in crate::node::decode_node(bytes, self.codec) {
+                for p in &entry.phrases {
+                    out.extend(p.ads.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode every phrase stored in the index as `(phrase text, ad, info)`
+    /// triples — the inverse of indexing, used by rebuilds and baselines.
+    pub fn export_ads(&self) -> Vec<(String, AdId, AdInfo)> {
+        let mut out = Vec::with_capacity(self.n_ads as usize);
+        for (start, end) in self.directory.extents() {
+            let bytes = self.arena.slice(start as usize, end as usize);
+            for entry in crate::node::decode_node(bytes, self.codec) {
+                for p in &entry.phrases {
+                    let text = p
+                        .raw
+                        .iter()
+                        .map(|&w| self.vocab.resolve(w).unwrap_or("?"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    for &(ad, info) in &p.ads {
+                        out.push((text.clone(), ad, info));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Does `needle` appear in `haystack` as a contiguous run (element-exact,
+/// `None` in the haystack never matches)?
+fn contains_contiguous(haystack: &[Option<WordId>], needle: &[WordId]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return false;
+    }
+    haystack.windows(needle.len()).any(|w| {
+        w.iter()
+            .zip(needle)
+            .all(|(h, &n)| *h == Some(n))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectoryKind, IndexBuilder, IndexConfig, RemapMode};
+    use broadmatch_memcost::CountingTracker;
+
+    fn sample_index(remap: RemapMode, directory: DirectoryKind, compress: bool) -> BroadMatchIndex {
+        let mut cfg = IndexConfig::default();
+        cfg.remap = remap;
+        cfg.directory = directory;
+        cfg.compress_nodes = compress;
+        cfg.max_words = 3;
+        let mut b = IndexBuilder::with_config(cfg);
+        b.add("used books", AdInfo::with_bid(1, 10)).unwrap();
+        b.add("cheap used books", AdInfo::with_bid(2, 20)).unwrap();
+        b.add("books", AdInfo::with_bid(3, 30)).unwrap();
+        b.add("comic books", AdInfo::with_bid(4, 40)).unwrap();
+        b.add("talk talk", AdInfo::with_bid(5, 50)).unwrap();
+        b.add("rare first edition signed hardcover books", AdInfo::with_bid(6, 60))
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn listing_ids(hits: &[MatchHit]) -> Vec<u64> {
+        let mut ids: Vec<u64> = hits.iter().map(|h| h.info.listing_id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn check_semantics(index: &BroadMatchIndex) {
+        // Broad match.
+        assert_eq!(
+            listing_ids(&index.query("cheap used books online", MatchType::Broad)),
+            vec![1, 2, 3]
+        );
+        assert_eq!(listing_ids(&index.query("books", MatchType::Broad)), vec![3]);
+        assert_eq!(
+            listing_ids(&index.query("comic books cheap", MatchType::Broad)),
+            vec![3, 4]
+        );
+        assert!(index.query("nothing here", MatchType::Broad).is_empty());
+
+        // Duplicate-word semantics: "talk" alone must not match "talk talk".
+        assert!(index.query("talk", MatchType::Broad).is_empty());
+        assert_eq!(
+            listing_ids(&index.query("talk talk", MatchType::Broad)),
+            vec![5]
+        );
+        // Triple "talk" is a different special word: no broad match either.
+        assert!(index.query("talk talk talk", MatchType::Broad).is_empty());
+
+        // Long phrase (6 words > max_words=3) is still retrievable.
+        assert_eq!(
+            listing_ids(&index.query(
+                "rare first edition signed hardcover books for sale",
+                MatchType::Broad
+            )),
+            vec![3, 6]
+        );
+
+        // Exact match: equality of words and order.
+        assert_eq!(
+            listing_ids(&index.query("used books", MatchType::Exact)),
+            vec![1]
+        );
+        assert!(index.query("books used", MatchType::Exact).is_empty());
+        assert!(index.query("cheap used books online", MatchType::Exact).is_empty());
+
+        // Phrase match: contiguous in-order containment.
+        assert_eq!(
+            listing_ids(&index.query("buy used books today", MatchType::Phrase)),
+            vec![1, 3]
+        );
+        assert!(index
+            .query("used comic books", MatchType::Phrase)
+            .iter()
+            .all(|h| h.info.listing_id != 1), "gap breaks phrase match");
+        // Phrase match with higher query multiplicity still finds the bid.
+        assert_eq!(
+            listing_ids(&index.query("talk talk talk", MatchType::Phrase)),
+            vec![5]
+        );
+    }
+
+    #[test]
+    fn semantics_no_remap() {
+        check_semantics(&sample_index(RemapMode::None, DirectoryKind::HashTable, false));
+    }
+
+    #[test]
+    fn semantics_long_only() {
+        check_semantics(&sample_index(RemapMode::LongOnly, DirectoryKind::HashTable, false));
+    }
+
+    #[test]
+    fn semantics_full_remap() {
+        check_semantics(&sample_index(RemapMode::Full, DirectoryKind::HashTable, false));
+    }
+
+    #[test]
+    fn semantics_full_withdrawals() {
+        check_semantics(&sample_index(
+            RemapMode::FullWithWithdrawals,
+            DirectoryKind::HashTable,
+            false,
+        ));
+    }
+
+    #[test]
+    fn semantics_succinct_directory() {
+        check_semantics(&sample_index(RemapMode::LongOnly, DirectoryKind::Succinct, false));
+    }
+
+    #[test]
+    fn semantics_compressed_nodes() {
+        check_semantics(&sample_index(RemapMode::LongOnly, DirectoryKind::HashTable, true));
+    }
+
+    #[test]
+    fn semantics_compressed_succinct_full() {
+        check_semantics(&sample_index(RemapMode::Full, DirectoryKind::Succinct, true));
+    }
+
+    #[test]
+    fn tracker_observes_accesses() {
+        let index = sample_index(RemapMode::LongOnly, DirectoryKind::HashTable, false);
+        let mut t = CountingTracker::new();
+        index.query_tracked("cheap used books", MatchType::Broad, &mut t);
+        assert!(t.random_accesses > 0);
+        assert!(t.bytes_total() > 0);
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let index = sample_index(RemapMode::LongOnly, DirectoryKind::HashTable, false);
+        let stats = index.stats();
+        assert_eq!(stats.ads, 6);
+        assert_eq!(stats.groups, 6);
+        assert!(stats.nodes <= stats.groups);
+        assert!(stats.arena_bytes > 0);
+        assert!(stats.directory_bytes > 0);
+        assert!(stats.max_locator_len <= 3);
+    }
+
+    #[test]
+    fn iter_all_ads_returns_everything() {
+        let index = sample_index(RemapMode::Full, DirectoryKind::HashTable, false);
+        let mut ads = index.iter_all_ads();
+        ads.sort_by_key(|&(id, _)| id);
+        assert_eq!(ads.len(), 6);
+        let ids: Vec<u32> = ads.iter().map(|&(id, _)| id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn contains_contiguous_cases() {
+        let h = |ids: &[u32]| {
+            ids.iter()
+                .map(|&i| if i == 999 { None } else { Some(WordId(i)) })
+                .collect::<Vec<_>>()
+        };
+        let n = |ids: &[u32]| ids.iter().map(|&i| WordId(i)).collect::<Vec<_>>();
+        assert!(contains_contiguous(&h(&[1, 2, 3]), &n(&[2, 3])));
+        assert!(contains_contiguous(&h(&[1, 2, 3]), &n(&[1, 2, 3])));
+        assert!(!contains_contiguous(&h(&[1, 2, 3]), &n(&[1, 3])));
+        assert!(!contains_contiguous(&h(&[1, 999, 3]), &n(&[1, 999])));
+        assert!(!contains_contiguous(&h(&[1]), &n(&[1, 2])));
+        assert!(!contains_contiguous(&h(&[1, 2]), &n(&[])));
+    }
+
+    #[test]
+    fn query_stats_reflect_processing() {
+        let index = sample_index(RemapMode::LongOnly, DirectoryKind::HashTable, false);
+        let (hits, stats) = index.query_with_stats("cheap used books", MatchType::Broad);
+        assert_eq!(stats.hits, hits.len());
+        assert!(stats.hits > 0);
+        // 3 known words, max_words 3 => 7 subsets probed.
+        assert_eq!(stats.probes, 7);
+        assert!(stats.probe_hits >= 2, "at least {{books}} misses, bid sets hit");
+        assert!(stats.nodes_visited >= 2);
+        assert!(!stats.truncated);
+
+        // A miss query still reports its probe work.
+        let (hits, stats) = index.query_with_stats("zzz qqq", MatchType::Broad);
+        assert!(hits.is_empty());
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.probes, 0, "unknown words are dropped before probing");
+    }
+
+    #[test]
+    fn query_stats_report_truncation() {
+        let mut cfg = IndexConfig::default();
+        cfg.probe_cap = 3;
+        cfg.max_words = 3;
+        let mut b = IndexBuilder::with_config(cfg);
+        b.add("a b c", AdInfo::with_bid(1, 1)).unwrap();
+        let index = b.build().unwrap();
+        let (_, stats) = index.query_with_stats("a b c", MatchType::Broad);
+        assert!(stats.truncated);
+        assert_eq!(stats.probes, 3);
+    }
+
+    #[test]
+    fn modeled_cost_is_positive_for_nonempty_workload() {
+        let index = sample_index(RemapMode::Full, DirectoryKind::HashTable, false);
+        let wl = QueryWorkload::from_texts(index.vocab(), [("cheap used books", 5u64)]);
+        let cost = index.modeled_cost(&wl);
+        assert!(cost.breakdown.total() > 0.0);
+        assert!(cost.nodes > 0);
+    }
+}

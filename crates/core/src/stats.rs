@@ -1,0 +1,166 @@
+//! Corpus statistics backing the paper's data-distribution figures
+//! (Figs. 1, 2 and 7).
+
+use std::collections::HashMap;
+
+use crate::hash::FxBuildHasher;
+use crate::text::{fold_duplicates, tokenize};
+
+/// Distribution statistics over a corpus of bid phrases.
+///
+/// * [`CorpusStats::length_histogram`] — Fig. 1 (bids are short);
+/// * [`CorpusStats::wordset_frequencies`] — Fig. 2 (ads per word set follow
+///   a long-tail/Zipf law);
+/// * [`CorpusStats::keyword_frequencies`] — Fig. 7 (single keywords are far
+///   more skewed than word combinations — the root cause of the inverted
+///   baselines' large posting lists).
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    /// `histogram[k]` = number of phrases with exactly `k` words (folded).
+    pub length_histogram: Vec<u64>,
+    /// Ads per distinct word set, sorted descending (rank order).
+    pub wordset_frequencies: Vec<u64>,
+    /// Phrases per keyword, sorted descending (rank order).
+    pub keyword_frequencies: Vec<u64>,
+    /// Total phrases observed.
+    pub total_phrases: u64,
+}
+
+impl CorpusStats {
+    /// Compute statistics over an iterator of phrases.
+    pub fn from_phrases<'a>(phrases: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut length_histogram: Vec<u64> = Vec::new();
+        let mut wordsets: HashMap<Vec<String>, u64, FxBuildHasher> = HashMap::default();
+        let mut keywords: HashMap<String, u64, FxBuildHasher> = HashMap::default();
+        let mut total = 0u64;
+
+        for phrase in phrases {
+            let tokens = tokenize(phrase);
+            let folded = fold_duplicates(&tokens);
+            if folded.is_empty() {
+                continue;
+            }
+            total += 1;
+            let len = folded.len();
+            if length_histogram.len() <= len {
+                length_histogram.resize(len + 1, 0);
+            }
+            length_histogram[len] += 1;
+
+            let key: Vec<String> = folded.iter().map(|t| t.key()).collect();
+            for k in &key {
+                *keywords.entry(k.clone()).or_default() += 1;
+            }
+            *wordsets.entry(key).or_default() += 1;
+        }
+
+        let mut wordset_frequencies: Vec<u64> = wordsets.into_values().collect();
+        wordset_frequencies.sort_unstable_by(|a, b| b.cmp(a));
+        let mut keyword_frequencies: Vec<u64> = keywords.into_values().collect();
+        keyword_frequencies.sort_unstable_by(|a, b| b.cmp(a));
+
+        CorpusStats {
+            length_histogram,
+            wordset_frequencies,
+            keyword_frequencies,
+            total_phrases: total,
+        }
+    }
+
+    /// Fraction of phrases with at most `k` words (Fig. 1's quantile
+    /// claims: 62% ≤ 3 words, 96% ≤ 5, 99.8% ≤ 8).
+    pub fn fraction_with_at_most(&self, k: usize) -> f64 {
+        if self.total_phrases == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self
+            .length_histogram
+            .iter()
+            .take(k + 1)
+            .sum();
+        upto as f64 / self.total_phrases as f64
+    }
+
+    /// Mean phrases per distinct word set.
+    pub fn mean_ads_per_wordset(&self) -> f64 {
+        if self.wordset_frequencies.is_empty() {
+            return 0.0;
+        }
+        self.total_phrases as f64 / self.wordset_frequencies.len() as f64
+    }
+
+    /// Least-squares slope of `log(freq)` against `log(rank)` over the top
+    /// `top_n` ranks — ≈ `-s` for a Zipf(s) distribution. Used to check the
+    /// Fig. 2 long-tail claim and the Fig. 7 skew comparison.
+    pub fn zipf_slope(frequencies: &[u64], top_n: usize) -> f64 {
+        let n = frequencies.len().min(top_n);
+        if n < 3 {
+            return 0.0;
+        }
+        let points: Vec<(f64, f64)> = frequencies[..n]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(i, &f)| (((i + 1) as f64).ln(), (f as f64).ln()))
+            .collect();
+        let m = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = m * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return 0.0;
+        }
+        (m * sxy - sx * sy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_lengths() {
+        let stats = CorpusStats::from_phrases(["a", "a b", "a b", "a b c", "!!!"]);
+        assert_eq!(stats.total_phrases, 4);
+        assert_eq!(stats.length_histogram[1], 1);
+        assert_eq!(stats.length_histogram[2], 2);
+        assert_eq!(stats.length_histogram[3], 1);
+        assert!((stats.fraction_with_at_most(2) - 0.75).abs() < 1e-9);
+        assert!((stats.fraction_with_at_most(3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wordset_frequencies_group_order_insensitively() {
+        let stats = CorpusStats::from_phrases(["used books", "books used", "new books"]);
+        assert_eq!(stats.wordset_frequencies, vec![2, 1]);
+        assert!((stats.mean_ads_per_wordset() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keyword_frequencies_are_more_skewed_than_wordsets() {
+        // "books" occurs everywhere; word sets are mostly unique. This is
+        // the Fig. 7 phenomenon in miniature.
+        let phrases: Vec<String> = (0..100)
+            .map(|i| format!("books special{i}"))
+            .collect();
+        let stats = CorpusStats::from_phrases(phrases.iter().map(|s| s.as_str()));
+        assert_eq!(stats.keyword_frequencies[0], 100); // "books"
+        assert_eq!(stats.wordset_frequencies[0], 1);
+    }
+
+    #[test]
+    fn zipf_slope_recovers_exponent() {
+        // freq(rank) = C / rank  =>  slope ~ -1.
+        let freqs: Vec<u64> = (1..=1000u64).map(|r| 1_000_000 / r).collect();
+        let slope = CorpusStats::zipf_slope(&freqs, 1000);
+        assert!((slope + 1.0).abs() < 0.05, "slope {slope}");
+    }
+
+    #[test]
+    fn zipf_slope_degenerate_inputs() {
+        assert_eq!(CorpusStats::zipf_slope(&[], 10), 0.0);
+        assert_eq!(CorpusStats::zipf_slope(&[5, 5], 10), 0.0);
+    }
+}

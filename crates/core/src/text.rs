@@ -1,0 +1,152 @@
+//! Tokenization and the duplicate-word folding of Section III-B.
+
+/// A token after duplicate folding: the base word plus its occurrence count
+/// within the phrase.
+///
+/// The paper's semantics for repeated words ("Talk Talk"): a word occurring
+/// `m` times must occur exactly `m` times in both query and bid, so every
+/// multiplicity is treated as its own special word. `FoldedToken` is the
+/// canonical representation of that special word.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FoldedToken {
+    /// Lower-cased base word.
+    pub word: String,
+    /// Occurrence count within the phrase (≥ 1).
+    pub count: u32,
+}
+
+impl FoldedToken {
+    /// The interning key for this token: the word itself for count 1, or
+    /// `word\u{1F}count` for folded duplicates (`\u{1F}` — ASCII unit
+    /// separator — cannot appear in tokenized words).
+    pub fn key(&self) -> String {
+        if self.count == 1 {
+            self.word.clone()
+        } else {
+            format!("{}\u{1F}{}", self.word, self.count)
+        }
+    }
+}
+
+/// Split a phrase or query into lower-cased word tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters (Unicode-aware);
+/// everything else separates. This mirrors the light normalization ad
+/// platforms apply before matching.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch::tokenize;
+///
+/// assert_eq!(tokenize("Cheap USED-books!"), vec!["cheap", "used", "books"]);
+/// assert_eq!(tokenize("  "), Vec::<String>::new());
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            // Queries are overwhelmingly lowercase ASCII already; skip the
+            // allocation-churny general path when possible.
+            if t.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()) {
+                t.to_string()
+            } else {
+                t.to_lowercase()
+            }
+        })
+        .collect()
+}
+
+/// Fold duplicate words into multiplicity tokens (paper, Section III-B).
+///
+/// A word occurring `m` times becomes exactly one special word of
+/// multiplicity `m`, so the output has one token per distinct base word,
+/// sorted by `(word, count)`.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch::fold_duplicates;
+///
+/// let tokens = vec!["talk".to_string(), "talk".to_string(), "show".to_string()];
+/// let folded = fold_duplicates(&tokens);
+/// assert_eq!(folded.len(), 2);
+/// assert_eq!(folded[0].word, "show");
+/// assert_eq!(folded[0].count, 1);
+/// assert_eq!(folded[1].word, "talk");
+/// assert_eq!(folded[1].count, 2);
+/// ```
+pub fn fold_duplicates(tokens: &[String]) -> Vec<FoldedToken> {
+    let mut sorted: Vec<&String> = tokens.iter().collect();
+    sorted.sort_unstable();
+    let mut out: Vec<FoldedToken> = Vec::with_capacity(sorted.len());
+    for token in sorted {
+        match out.last_mut() {
+            Some(last) if &last.word == token => last.count += 1,
+            _ => out.push(FoldedToken {
+                word: token.clone(),
+                count: 1,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_normalizes_case_and_punctuation() {
+        assert_eq!(
+            tokenize("New York—cheap FLIGHTS (2024)"),
+            vec!["new", "york", "cheap", "flights", "2024"]
+        );
+    }
+
+    #[test]
+    fn tokenize_empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! -- ??").is_empty());
+    }
+
+    #[test]
+    fn tokenize_keeps_digits() {
+        assert_eq!(tokenize("mp3 player"), vec!["mp3", "player"]);
+    }
+
+    #[test]
+    fn fold_no_duplicates_is_identity_set() {
+        let tokens: Vec<String> = ["used", "books"].iter().map(|s| s.to_string()).collect();
+        let folded = fold_duplicates(&tokens);
+        assert_eq!(folded.len(), 2);
+        assert!(folded.iter().all(|t| t.count == 1));
+        // Sorted by word.
+        assert_eq!(folded[0].word, "books");
+        assert_eq!(folded[1].word, "used");
+    }
+
+    #[test]
+    fn fold_talk_talk_is_distinct_from_talk() {
+        let twice = fold_duplicates(&["talk".into(), "talk".into()]);
+        let once = fold_duplicates(&["talk".into()]);
+        assert_ne!(twice[0].key(), once[0].key());
+        assert_eq!(twice[0].key(), "talk\u{1F}2");
+        assert_eq!(once[0].key(), "talk");
+    }
+
+    #[test]
+    fn fold_triple_occurrence() {
+        let folded = fold_duplicates(&["a".into(), "b".into(), "a".into(), "a".into()]);
+        assert_eq!(folded.len(), 2);
+        assert_eq!(folded[0], FoldedToken { word: "a".into(), count: 3 });
+        assert_eq!(folded[1], FoldedToken { word: "b".into(), count: 1 });
+    }
+
+    #[test]
+    fn fold_is_order_insensitive() {
+        let a = fold_duplicates(&["x".into(), "y".into(), "x".into()]);
+        let b = fold_duplicates(&["y".into(), "x".into(), "x".into()]);
+        assert_eq!(a, b);
+    }
+}

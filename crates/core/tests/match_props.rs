@@ -1,0 +1,148 @@
+//! Property tests over the match-type semantics lattice and index
+//! statistics.
+
+use proptest::prelude::*;
+
+use broadmatch::{AdInfo, IndexBuilder, IndexConfig, MatchType, RemapMode};
+
+fn phrase_from(words: &[u8]) -> String {
+    words
+        .iter()
+        .map(|w| format!("w{w}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn build(ads: &[(String, AdInfo)], remap: RemapMode) -> broadmatch::BroadMatchIndex {
+    let mut config = IndexConfig::default();
+    config.remap = remap;
+    config.max_words = 3;
+    config.probe_cap = 1 << 20;
+    let mut builder = IndexBuilder::with_config(config);
+    for (p, i) in ads {
+        builder.add(p, *i).expect("valid phrase");
+    }
+    builder.build().expect("valid config")
+}
+
+fn listings(hits: &[broadmatch::MatchHit]) -> Vec<u64> {
+    let mut v: Vec<u64> = hits.iter().map(|h| h.info.listing_id).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    /// For duplicate-free queries the match types form a lattice:
+    /// exact ⊆ phrase ⊆ broad.
+    #[test]
+    fn match_type_lattice(
+        corpus in proptest::collection::vec(proptest::collection::vec(0u8..10, 1..5), 1..20),
+        mut q_words in proptest::collection::vec(0u8..10, 1..6),
+    ) {
+        q_words.sort_unstable();
+        q_words.dedup(); // duplicate-free query
+        let ads: Vec<(String, AdInfo)> = corpus
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (phrase_from(w), AdInfo::with_bid(i as u64 + 1, 10)))
+            .collect();
+        let index = build(&ads, RemapMode::LongOnly);
+        let query = phrase_from(&q_words);
+
+        let broad = listings(&index.query(&query, MatchType::Broad));
+        let phrase = listings(&index.query(&query, MatchType::Phrase));
+        let exact = listings(&index.query(&query, MatchType::Exact));
+
+        for l in &exact {
+            prop_assert!(phrase.contains(l), "exact hit {l} missing from phrase");
+        }
+        for l in &phrase {
+            prop_assert!(broad.contains(l), "phrase hit {l} missing from broad");
+        }
+    }
+
+    /// Exact match returns precisely the ads whose phrase text normalizes
+    /// to the query text.
+    #[test]
+    fn exact_match_is_string_equality_after_normalization(
+        corpus in proptest::collection::vec(proptest::collection::vec(0u8..8, 1..4), 1..20),
+        q_words in proptest::collection::vec(0u8..8, 1..4),
+    ) {
+        let ads: Vec<(String, AdInfo)> = corpus
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (phrase_from(w), AdInfo::with_bid(i as u64 + 1, 10)))
+            .collect();
+        let index = build(&ads, RemapMode::Full);
+        let query = phrase_from(&q_words);
+
+        let expected: Vec<u64> = {
+            let mut v: Vec<u64> = ads
+                .iter()
+                .filter(|(p, _)| p == &query)
+                .map(|(_, i)| i.listing_id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(listings(&index.query(&query, MatchType::Exact)), expected);
+    }
+
+    /// Index statistics are internally consistent for arbitrary corpora.
+    #[test]
+    fn stats_are_consistent(
+        corpus in proptest::collection::vec(proptest::collection::vec(0u8..15, 1..6), 1..30),
+    ) {
+        let ads: Vec<(String, AdInfo)> = corpus
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (phrase_from(w), AdInfo::with_bid(i as u64 + 1, 10)))
+            .collect();
+        let index = build(&ads, RemapMode::Full);
+        let stats = index.stats();
+        prop_assert_eq!(stats.ads, ads.len());
+        prop_assert!(stats.groups <= stats.ads);
+        prop_assert!(stats.nodes <= stats.groups);
+        prop_assert!(stats.nodes >= 1);
+        prop_assert!(stats.arena_bytes > 0);
+        prop_assert!(stats.max_locator_len <= 3, "max_words bound respected");
+        // Every indexed ad is recoverable.
+        prop_assert_eq!(index.iter_all_ads().len(), ads.len());
+    }
+
+    /// Arbitrary unicode never panics anywhere in the query pipeline.
+    #[test]
+    fn arbitrary_unicode_is_safe(
+        corpus in proptest::collection::vec("\\PC{1,30}", 0..8),
+        query in "\\PC{0,50}",
+    ) {
+        let mut builder = IndexBuilder::new();
+        for (i, phrase) in corpus.iter().enumerate() {
+            // Phrases may legitimately be rejected (no tokens); that's fine.
+            let _ = builder.add(phrase, AdInfo::with_bid(i as u64, 1));
+        }
+        let index = builder.build().expect("valid config");
+        for mt in [MatchType::Broad, MatchType::Exact, MatchType::Phrase] {
+            let _ = index.query(&query, mt);
+        }
+    }
+
+    /// Queries made of unknown words never match and never panic.
+    #[test]
+    fn unknown_words_never_match(
+        corpus in proptest::collection::vec(proptest::collection::vec(0u8..5, 1..4), 1..10),
+        q in "[x-z]{1,8}( [x-z]{1,8}){0,4}",
+    ) {
+        let ads: Vec<(String, AdInfo)> = corpus
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (phrase_from(w), AdInfo::with_bid(i as u64 + 1, 10)))
+            .collect();
+        let index = build(&ads, RemapMode::LongOnly);
+        for mt in [MatchType::Broad, MatchType::Exact, MatchType::Phrase] {
+            prop_assert!(index.query(&q, mt).is_empty());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Plain-text persistence for corpora and workloads.
+//!
+//! Generated datasets are cheap to regenerate from a seed, but experiments
+//! across processes (or against external tools) want files. The format is
+//! deliberately trivial: one record per line, tab-separated, `#`-prefixed
+//! header comments — greppable, diffable, loadable from any language.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use broadmatch::AdInfo;
+
+use crate::{AdCorpus, CorpusConfig, GeneratedAd, QueryGenConfig, Workload};
+
+/// Errors from corpus/workload file I/O.
+#[derive(Debug)]
+pub enum CorpusIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based number and complaint.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for CorpusIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusIoError::Io(e) => write!(f, "i/o error: {e}"),
+            CorpusIoError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusIoError {}
+
+impl From<io::Error> for CorpusIoError {
+    fn from(e: io::Error) -> Self {
+        CorpusIoError::Io(e)
+    }
+}
+
+impl AdCorpus {
+    /// Write as TSV: `phrase \t listing_id \t campaign_id \t bid_micros`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save_tsv<W: Write>(&self, writer: &mut W) -> Result<(), CorpusIoError> {
+        writeln!(writer, "# broadmatch ad corpus v1: phrase\tlisting\tcampaign\tbid_micros")?;
+        for ad in self.ads() {
+            writeln!(
+                writer,
+                "{}\t{}\t{}\t{}",
+                ad.phrase, ad.info.listing_id, ad.info.campaign_id, ad.info.bid_micros
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Read a TSV written by [`AdCorpus::save_tsv`] (or hand-made: phrases
+    /// must not contain tabs). The resulting corpus carries a placeholder
+    /// config; word-set phrases are recomputed for workload seeding.
+    ///
+    /// # Errors
+    /// I/O failures or malformed lines.
+    pub fn load_tsv<R: Read>(reader: R) -> Result<AdCorpus, CorpusIoError> {
+        let mut ads = Vec::new();
+        for (i, line) in BufReader::new(reader).lines().enumerate() {
+            let line = line?;
+            let line_no = i + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let phrase = parts
+                .next()
+                .filter(|p| !p.is_empty())
+                .ok_or(CorpusIoError::Parse {
+                    line: line_no,
+                    reason: "missing phrase",
+                })?
+                .to_string();
+            let listing_id = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(CorpusIoError::Parse {
+                    line: line_no,
+                    reason: "bad listing id",
+                })?;
+            let campaign_id = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(CorpusIoError::Parse {
+                    line: line_no,
+                    reason: "bad campaign id",
+                })?;
+            let bid_micros = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(CorpusIoError::Parse {
+                    line: line_no,
+                    reason: "bad bid",
+                })?;
+            ads.push(GeneratedAd {
+                phrase,
+                info: AdInfo {
+                    listing_id,
+                    campaign_id,
+                    bid_micros,
+                },
+            });
+        }
+
+        // Recompute distinct word-set phrases (canonical = sorted words).
+        let mut seen = std::collections::HashSet::new();
+        let mut wordset_phrases = Vec::new();
+        for ad in &ads {
+            let mut words: Vec<&str> = ad.phrase.split_whitespace().collect();
+            words.sort_unstable();
+            let canonical = words.join(" ");
+            if seen.insert(canonical.clone()) {
+                wordset_phrases.push(canonical);
+            }
+        }
+        let config = CorpusConfig {
+            n_ads: ads.len(),
+            distinct_wordsets: wordset_phrases.len().max(1),
+            vocab_size: seen.len().max(1),
+            length_weights: CorpusConfig::paper_length_weights(),
+            word_zipf: 0.0,
+            wordset_zipf: 0.0,
+            reorder_fraction: 0.0,
+            seed: 0,
+        };
+        Ok(AdCorpus::from_parts(ads, wordset_phrases, config))
+    }
+}
+
+impl Workload {
+    /// Write as TSV: `frequency \t query`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save_tsv<W: Write>(&self, writer: &mut W) -> Result<(), CorpusIoError> {
+        writeln!(writer, "# broadmatch query workload v1: frequency\tquery")?;
+        for (query, freq) in self.entries() {
+            writeln!(writer, "{freq}\t{query}")?;
+        }
+        Ok(())
+    }
+
+    /// Read a TSV written by [`Workload::save_tsv`].
+    ///
+    /// # Errors
+    /// I/O failures or malformed lines.
+    pub fn load_tsv<R: Read>(reader: R) -> Result<Workload, CorpusIoError> {
+        let mut entries = Vec::new();
+        for (i, line) in BufReader::new(reader).lines().enumerate() {
+            let line = line?;
+            let line_no = i + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (freq, query) = line.split_once('\t').ok_or(CorpusIoError::Parse {
+                line: line_no,
+                reason: "expected frequency<TAB>query",
+            })?;
+            let freq: u64 = freq.parse().map_err(|_| CorpusIoError::Parse {
+                line: line_no,
+                reason: "bad frequency",
+            })?;
+            if query.is_empty() {
+                return Err(CorpusIoError::Parse {
+                    line: line_no,
+                    reason: "empty query",
+                });
+            }
+            entries.push((query.to_string(), freq));
+        }
+        Ok(Workload::from_parts(entries, QueryGenConfig::small(0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryGenConfig;
+
+    #[test]
+    fn corpus_round_trip() {
+        let corpus = AdCorpus::generate(CorpusConfig::small(5));
+        let mut buf = Vec::new();
+        corpus.save_tsv(&mut buf).unwrap();
+        let loaded = AdCorpus::load_tsv(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), corpus.len());
+        assert_eq!(loaded.ads()[0].phrase, corpus.ads()[0].phrase);
+        assert_eq!(loaded.ads()[0].info, corpus.ads()[0].info);
+        assert!(!loaded.wordset_phrases().is_empty());
+    }
+
+    #[test]
+    fn workload_round_trip() {
+        let corpus = AdCorpus::generate(CorpusConfig::small(5));
+        let workload = Workload::generate(QueryGenConfig::small(5), &corpus);
+        let mut buf = Vec::new();
+        workload.save_tsv(&mut buf).unwrap();
+        let loaded = Workload::load_tsv(buf.as_slice()).unwrap();
+        assert_eq!(loaded.entries(), workload.entries());
+        // A loaded workload still samples traces.
+        assert_eq!(loaded.sample_trace(100, 1).len(), 100);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = "# header\nphrase only\n";
+        assert!(AdCorpus::load_tsv(bad.as_bytes()).is_err());
+        let bad = "notanumber\tquery\n";
+        assert!(Workload::load_tsv(bad.as_bytes()).is_err());
+        let bad = "12\n";
+        assert!(Workload::load_tsv(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# c\n\n10\tused books\n";
+        let wl = Workload::load_tsv(text.as_bytes()).unwrap();
+        assert_eq!(wl.len(), 1);
+        assert_eq!(wl.entries()[0], ("used books".to_string(), 10));
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic advertisement corpora and query workloads.
+//!
+//! The paper evaluates on proprietary data: corpora of 1.8M/180M/290M real
+//! advertisements and a web trace of 5M queries. This crate generates
+//! synthetic stand-ins calibrated to every distributional property the paper
+//! publishes, because those properties are precisely what its algorithms
+//! exploit:
+//!
+//! * **Fig. 1** — bids are short: the length histogram peaks at 3 words with
+//!   a log-scale linear drop-off (62% ≤ 3 words, 96% ≤ 5, 99.8% ≤ 8);
+//! * **Fig. 2** — the number of ads per distinct word set follows a
+//!   long-tail (Zipf) law;
+//! * **Fig. 7** — single-keyword frequencies are far more skewed than
+//!   word-combination frequencies (the root cause of the inverted-index
+//!   baselines' pain);
+//! * **Fig. 3** — machine-translation phrases peak at the same length but
+//!   fall off much more slowly (the contrast that motivates a dedicated ad
+//!   index);
+//! * **Section V** — query frequencies follow a power law, and most queries
+//!   that matter are supersets of bid word sets.
+//!
+//! Everything is seeded and deterministic: the same config always yields the
+//! same corpus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adgen;
+mod io;
+mod mt;
+mod querygen;
+mod vocabgen;
+mod zipf;
+
+pub use adgen::{AdCorpus, CorpusConfig, GeneratedAd};
+pub use io::CorpusIoError;
+pub use mt::{mt_length_weights, MtPhraseGenerator};
+pub use querygen::{QueryGenConfig, Workload};
+pub use vocabgen::word_string;
+pub use zipf::{zipf_counts, ZipfSampler};

@@ -1,0 +1,71 @@
+//! Deterministic synthetic word strings.
+
+/// Consonant-vowel syllables used to synthesize pronounceable words.
+const SYLLABLES: [&str; 24] = [
+    "ba", "be", "bo", "da", "de", "di", "ka", "ke", "ko", "la", "le", "lu", "ma", "me", "mi",
+    "na", "no", "nu", "ra", "re", "ro", "sa", "se", "to",
+];
+
+/// The synthetic word with the given id: a base-24 syllable spelling, so
+/// distinct ids always yield distinct words ("ba", "be", …, "beba", …).
+///
+/// Ids are assigned by *popularity rank* in the generators — id 0 is the
+/// most common word in the corpus — so the mapping doubles as a readable
+/// debugging aid.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_corpus::word_string;
+///
+/// assert_eq!(word_string(0), "ba");
+/// assert_eq!(word_string(1), "be");
+/// assert_ne!(word_string(100), word_string(101));
+/// ```
+pub fn word_string(id: u64) -> String {
+    let n = SYLLABLES.len() as u64;
+    let mut digits = Vec::new();
+    let mut v = id;
+    loop {
+        digits.push((v % n) as usize);
+        v /= n;
+        if v == 0 {
+            break;
+        }
+        // Offset so that multi-syllable words do not collide with short
+        // ones: treat this as a bijective base-24 numbering.
+        v -= 1;
+    }
+    digits.reverse();
+    digits.into_iter().map(|d| SYLLABLES[d]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_unique() {
+        let mut seen = HashSet::new();
+        for id in 0..10_000u64 {
+            assert!(seen.insert(word_string(id)), "collision at {id}");
+        }
+    }
+
+    #[test]
+    fn words_are_alphanumeric_single_tokens() {
+        for id in [0u64, 5, 23, 24, 600, 12345] {
+            let w = word_string(id);
+            assert!(!w.is_empty());
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn short_ids_give_short_words() {
+        assert_eq!(word_string(0).len(), 2);
+        assert_eq!(word_string(23).len(), 2);
+        assert_eq!(word_string(24).len(), 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! Inverted-index baselines for broad-match processing.
+//!
+//! These are the two strategies of Sections I-C / VII-A that the paper's
+//! hash structure is evaluated against:
+//!
+//! * [`UnmodifiedInvertedIndex`] — "non-redundant" indexing: each ad phrase
+//!   is indexed only under its **rarest** word (rarest in the bid corpus).
+//!   A query unions the posting lists of its words and then *verifies each
+//!   candidate phrase* against the query (phrase accesses dominate).
+//! * [`ModifiedInvertedIndex`] — every word of every phrase is indexed, and
+//!   each posting carries the phrase's word count. A counting merge over
+//!   the query words' lists declares a match when an ad is seen exactly
+//!   `word_count` times — no phrase access needed, but the posting volume
+//!   explodes for frequent keywords.
+//!
+//! Neither baseline can use skip-list intersection ("we cannot use the
+//! well-known skipping optimization … since we are not merely computing
+//! intersections"), so every posting list is read in full — exactly what
+//! Fig. 8 and the throughput table measure. Both report their memory
+//! accesses through `broadmatch-memcost` trackers, using disjoint logical
+//! address regions so the hardware simulator sees a realistic layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod modified;
+mod store;
+mod unmodified;
+
+pub use modified::ModifiedInvertedIndex;
+pub use store::PhraseStore;
+pub use unmodified::UnmodifiedInvertedIndex;
+
+/// Logical base address of posting-list storage.
+pub(crate) const POSTINGS_BASE: u64 = 2 << 40;
+/// Logical base address of phrase/metadata storage.
+pub(crate) const PHRASES_BASE: u64 = 3 << 40;

@@ -1,0 +1,168 @@
+//! Shared phrase/metadata storage for the baselines.
+
+use broadmatch::{AdId, AdInfo, Vocabulary, WordId, WordSet};
+use broadmatch_memcost::AccessTracker;
+
+use crate::PHRASES_BASE;
+
+/// One stored phrase: the folded word set, the raw word order, and the ads
+/// bidding it.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PhraseRec {
+    pub words: WordSet,
+    pub raw: Vec<WordId>,
+    pub ads: Vec<(AdId, AdInfo)>,
+    /// Logical byte offset of this record in the phrase region.
+    pub offset: u64,
+}
+
+impl PhraseRec {
+    /// Bytes occupied: length byte + word ids + per-ad records.
+    pub(crate) fn words_bytes(&self) -> usize {
+        1 + 4 * self.words.len()
+    }
+
+    pub(crate) fn ads_bytes(&self) -> usize {
+        self.ads.len() * (4 + AdInfo::ENCODED_BYTES)
+    }
+}
+
+/// Append-only store of distinct phrases with their ads, shared by both
+/// baselines. Verifying a candidate costs a random access to the record
+/// plus a sequential read of its word ids (and of the ad metadata when the
+/// candidate matches) — the access pattern the paper's Fig. 8 experiment
+/// measures.
+#[derive(Debug, Default)]
+pub struct PhraseStore {
+    pub(crate) recs: Vec<PhraseRec>,
+    dedupe: std::collections::HashMap<(WordSet, Vec<WordId>), u32, broadmatch::FxBuildHasher>,
+    next_offset: u64,
+}
+
+impl PhraseStore {
+    /// Add an ad, grouping it under its distinct `(word set, raw order)`
+    /// phrase. Returns the record index.
+    pub(crate) fn add(
+        &mut self,
+        words: WordSet,
+        raw: Vec<WordId>,
+        ad: AdId,
+        info: AdInfo,
+    ) -> u32 {
+        if let Some(&i) = self.dedupe.get(&(words.clone(), raw.clone())) {
+            self.recs[i as usize].ads.push((ad, info));
+            return i;
+        }
+        let rec = PhraseRec {
+            words: words.clone(),
+            raw: raw.clone(),
+            ads: vec![(ad, info)],
+            // Reserve space as if ads were inline; growth of the ads list
+            // is ignored in the offset map (records stay logically
+            // disjoint).
+            offset: self.next_offset,
+        };
+        self.next_offset += (rec.words_bytes() + 64) as u64;
+        self.recs.push(rec);
+        let idx = self.recs.len() as u32 - 1;
+        self.dedupe.insert((words, raw), idx);
+        idx
+    }
+
+    /// Number of distinct phrase records.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True if no phrases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Verify candidate `rec` against `query_set`; on a broad match, read
+    /// the ad metadata and append hits. Accounts every byte touched.
+    #[inline]
+    pub(crate) fn verify_broad<T: AccessTracker>(
+        &self,
+        rec: u32,
+        query_set: &WordSet,
+        tracker: &mut T,
+        hits: &mut Vec<(AdId, AdInfo)>,
+    ) {
+        let r = &self.recs[rec as usize];
+        // Random access to the phrase record, reading its word ids.
+        tracker.random_access(PHRASES_BASE + r.offset, r.words_bytes());
+        let matches = r.words.is_subset_of(query_set);
+        tracker.branch(1, matches);
+        if matches {
+            tracker.sequential_read(
+                PHRASES_BASE + r.offset + r.words_bytes() as u64,
+                r.ads_bytes(),
+            );
+            hits.extend(r.ads.iter().copied());
+        }
+    }
+}
+
+/// Intern a corpus phrase, mirroring the core index's tokenization.
+pub(crate) fn intern_phrase(
+    vocab: &mut Vocabulary,
+    phrase: &str,
+) -> Option<(WordSet, Vec<WordId>)> {
+    let (words, raw) = vocab.intern_phrase(phrase);
+    if words.is_empty() {
+        None
+    } else {
+        Some((words, raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use broadmatch_memcost::{CountingTracker, NullTracker};
+
+    fn ws(ids: &[u32]) -> WordSet {
+        WordSet::from_unsorted(ids.iter().map(|&i| WordId(i)).collect())
+    }
+
+    #[test]
+    fn add_groups_identical_phrases() {
+        let mut s = PhraseStore::default();
+        let a = s.add(ws(&[1, 2]), vec![WordId(2), WordId(1)], AdId(0), AdInfo::default());
+        let b = s.add(ws(&[1, 2]), vec![WordId(2), WordId(1)], AdId(1), AdInfo::default());
+        let c = s.add(ws(&[1, 2]), vec![WordId(1), WordId(2)], AdId(2), AdInfo::default());
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different raw order is a different record");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn verify_broad_matches_subsets_only() {
+        let mut s = PhraseStore::default();
+        let rec = s.add(ws(&[1, 2]), vec![WordId(1), WordId(2)], AdId(7), AdInfo::with_bid(9, 5));
+        let mut hits = Vec::new();
+        let mut t = NullTracker;
+        s.verify_broad(rec, &ws(&[1, 2, 3]), &mut t, &mut hits);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, AdId(7));
+        hits.clear();
+        s.verify_broad(rec, &ws(&[1, 3]), &mut t, &mut hits);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn verify_accounts_bytes() {
+        let mut s = PhraseStore::default();
+        let rec = s.add(ws(&[1, 2]), vec![WordId(1), WordId(2)], AdId(0), AdInfo::default());
+        let mut t = CountingTracker::new();
+        let mut hits = Vec::new();
+        // Miss: only the word ids are read.
+        s.verify_broad(rec, &ws(&[9]), &mut t, &mut hits);
+        assert_eq!(t.bytes_total() as usize, 1 + 8);
+        // Hit: ads are read too.
+        let mut t2 = CountingTracker::new();
+        s.verify_broad(rec, &ws(&[1, 2]), &mut t2, &mut hits);
+        assert_eq!(t2.bytes_total() as usize, 1 + 8 + 4 + AdInfo::ENCODED_BYTES);
+    }
+}

@@ -1,0 +1,239 @@
+//! Baseline I: non-redundant inverted index over the rarest word per phrase.
+
+use std::collections::HashMap;
+
+use broadmatch::{AdId, AdInfo, BuildError, FxBuildHasher, MatchHit, Vocabulary, WordId, WordSet};
+use broadmatch_memcost::{AccessTracker, NullTracker};
+
+use crate::store::{intern_phrase, PhraseStore};
+use crate::POSTINGS_BASE;
+
+/// The paper's "unmodified inverted indexes" baseline (Section VII-A,
+/// strategy I).
+///
+/// Each ad phrase is indexed only under the word that occurs in the fewest
+/// bid phrases ("if we only index the keyword in each advertisement-phrase
+/// that is most rare … the strategy continues to produce the correct result
+/// and performs much better"). Queries union the posting lists of their
+/// words and verify each candidate phrase by direct access.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch::AdInfo;
+/// use broadmatch_invidx::UnmodifiedInvertedIndex;
+///
+/// let ads = vec![
+///     ("used books".to_string(), AdInfo::with_bid(1, 10)),
+///     ("cheap used books".to_string(), AdInfo::with_bid(2, 20)),
+/// ];
+/// let index = UnmodifiedInvertedIndex::build(&ads).unwrap();
+/// assert_eq!(index.query_broad("cheap used books today").len(), 2);
+/// assert!(index.query_broad("books").is_empty());
+/// ```
+#[derive(Debug)]
+pub struct UnmodifiedInvertedIndex {
+    vocab: Vocabulary,
+    store: PhraseStore,
+    /// Posting lists: rarest word -> distinct phrase record ids.
+    postings: HashMap<WordId, Vec<u32>, FxBuildHasher>,
+    /// Logical offset of each word's posting list.
+    list_offsets: HashMap<WordId, u64, FxBuildHasher>,
+    n_ads: usize,
+}
+
+impl UnmodifiedInvertedIndex {
+    /// Build from `(phrase, metadata)` pairs. Phrases that tokenize to
+    /// nothing are rejected.
+    ///
+    /// # Errors
+    /// [`BuildError::EmptyPhrase`] on an unindexable phrase.
+    pub fn build(ads: &[(String, AdInfo)]) -> Result<Self, BuildError> {
+        let mut vocab = Vocabulary::new();
+        // Pass 1: corpus frequency of every folded word.
+        let mut parsed: Vec<(WordSet, Vec<WordId>)> = Vec::with_capacity(ads.len());
+        for (phrase, _) in ads {
+            let Some((words, raw)) = intern_phrase(&mut vocab, phrase) else {
+                return Err(BuildError::EmptyPhrase {
+                    phrase: phrase.clone(),
+                });
+            };
+            for &w in words.ids() {
+                vocab.bump_phrase_freq(w);
+            }
+            parsed.push((words, raw));
+        }
+
+        // Pass 2: store phrases; index each distinct record once, under the
+        // rarest word of its set (ties break on the smaller id).
+        let mut store = PhraseStore::default();
+        let mut postings: HashMap<WordId, Vec<u32>, FxBuildHasher> = HashMap::default();
+        let mut indexed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for (i, ((words, raw), (_, info))) in parsed.into_iter().zip(ads).enumerate() {
+            let rarest = *words
+                .ids()
+                .iter()
+                .min_by_key(|&&w| (vocab.phrase_freq(w), w))
+                .expect("non-empty word set");
+            let rec = store.add(words, raw, AdId(i as u32), *info);
+            if indexed.insert(rec) {
+                postings.entry(rarest).or_default().push(rec);
+            }
+        }
+
+        // Assign logical offsets to posting lists (4 bytes per posting).
+        let mut list_offsets: HashMap<WordId, u64, FxBuildHasher> = HashMap::default();
+        let mut cursor = 0u64;
+        let mut words_sorted: Vec<WordId> = postings.keys().copied().collect();
+        words_sorted.sort_unstable();
+        for w in words_sorted {
+            list_offsets.insert(w, cursor);
+            cursor += postings[&w].len() as u64 * 4;
+        }
+
+        Ok(UnmodifiedInvertedIndex {
+            vocab,
+            store,
+            postings,
+            list_offsets,
+            n_ads: ads.len(),
+        })
+    }
+
+    /// Broad-match `query_text` (untracked).
+    pub fn query_broad(&self, query_text: &str) -> Vec<MatchHit> {
+        self.query_broad_tracked(query_text, &mut NullTracker)
+    }
+
+    /// Broad-match with access accounting: posting reads are sequential
+    /// runs, each candidate verification is a random phrase access.
+    pub fn query_broad_tracked<T: AccessTracker>(
+        &self,
+        query_text: &str,
+        tracker: &mut T,
+    ) -> Vec<MatchHit> {
+        let (query_set, _) = self.vocab.lookup_query(query_text);
+        let mut hits: Vec<(AdId, AdInfo)> = Vec::new();
+        let mut seen_recs: Vec<u32> = Vec::new();
+        for &w in query_set.ids() {
+            let Some(list) = self.postings.get(&w) else {
+                continue;
+            };
+            let base = POSTINGS_BASE + self.list_offsets[&w];
+            tracker.random_access(base, 4.min(list.len() * 4));
+            for (i, &rec) in list.iter().enumerate() {
+                if i > 0 {
+                    tracker.sequential_read(base + i as u64 * 4, 4);
+                }
+                // A record can be reachable via several query words only if
+                // lists shared it — they don't (non-redundant) — but guard
+                // for robustness.
+                if seen_recs.contains(&rec) {
+                    continue;
+                }
+                seen_recs.push(rec);
+                self.store.verify_broad(rec, &query_set, tracker, &mut hits);
+            }
+        }
+        hits
+            .into_iter()
+            .map(|(ad, info)| MatchHit { ad, info })
+            .collect()
+    }
+
+    /// Number of ads indexed.
+    pub fn len(&self) -> usize {
+        self.n_ads
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_ads == 0
+    }
+
+    /// Number of posting lists (distinct rarest words).
+    pub fn posting_lists(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Length of the longest posting list — the "several thousand elements
+    /// under popular keys" phenomenon of Section VII-A.
+    pub fn max_posting_list(&self) -> usize {
+        self.postings.values().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ads(phrases: &[&str]) -> Vec<(String, AdInfo)> {
+        phrases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.to_string(), AdInfo::with_bid(i as u64 + 1, 10)))
+            .collect()
+    }
+
+    #[test]
+    fn broad_match_semantics() {
+        let index = UnmodifiedInvertedIndex::build(&ads(&[
+            "used books",
+            "cheap used books",
+            "books",
+            "comic books",
+        ]))
+        .unwrap();
+        let listings = |q: &str| {
+            let mut v: Vec<u64> = index
+                .query_broad(q)
+                .iter()
+                .map(|h| h.info.listing_id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(listings("cheap used books online"), vec![1, 2, 3]);
+        assert_eq!(listings("books"), vec![3]);
+        assert_eq!(listings("comic books"), vec![3, 4]);
+        assert!(listings("nothing").is_empty());
+    }
+
+    #[test]
+    fn duplicate_word_semantics_match_core() {
+        let index = UnmodifiedInvertedIndex::build(&ads(&["talk talk", "talk show"])).unwrap();
+        assert!(index.query_broad("talk").is_empty());
+        assert_eq!(index.query_broad("talk talk").len(), 1);
+        assert_eq!(index.query_broad("talk show").len(), 1);
+    }
+
+    #[test]
+    fn non_redundant_one_posting_per_phrase() {
+        let index = UnmodifiedInvertedIndex::build(&ads(&[
+            "alpha beta",
+            "alpha gamma",
+            "alpha delta",
+        ]))
+        .unwrap();
+        let total: usize = index.postings.values().map(Vec::len).sum();
+        assert_eq!(total, 3, "each distinct phrase indexed exactly once");
+        // "alpha" occurs in 3 phrases, the others in 1: never the rarest.
+        let alpha = index.vocab.get("alpha").unwrap();
+        assert!(!index.postings.contains_key(&alpha));
+    }
+
+    #[test]
+    fn empty_phrase_rejected() {
+        assert!(UnmodifiedInvertedIndex::build(&ads(&["..."])).is_err());
+    }
+
+    #[test]
+    fn tracked_query_reads_posting_and_phrase_bytes() {
+        let index =
+            UnmodifiedInvertedIndex::build(&ads(&["used books", "rare books"])).unwrap();
+        let mut t = broadmatch_memcost::CountingTracker::new();
+        index.query_broad_tracked("rare used books", &mut t);
+        assert!(t.random_accesses >= 2, "posting list + phrase accesses");
+        assert!(t.bytes_total() > 8);
+    }
+}

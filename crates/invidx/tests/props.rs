@@ -1,0 +1,99 @@
+//! Property tests on the baselines' structural invariants.
+
+use broadmatch::AdInfo;
+use broadmatch_invidx::{ModifiedInvertedIndex, UnmodifiedInvertedIndex};
+use broadmatch_memcost::CountingTracker;
+use proptest::prelude::*;
+
+fn phrase_from(words: &[u8]) -> String {
+    words
+        .iter()
+        .map(|w| format!("w{w}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn ads_from(corpus: &[Vec<u8>]) -> Vec<(String, AdInfo)> {
+    corpus
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (phrase_from(w), AdInfo::with_bid(i as u64 + 1, 10)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Non-redundancy (Section I-C): the unmodified baseline stores exactly
+    /// one posting per distinct phrase record, regardless of phrase length.
+    #[test]
+    fn unmodified_posting_count_equals_distinct_phrases(
+        corpus in proptest::collection::vec(proptest::collection::vec(0u8..10, 1..6), 1..40),
+    ) {
+        let ads = ads_from(&corpus);
+        let index = UnmodifiedInvertedIndex::build(&ads).expect("valid");
+
+        // Distinct (folded set, raw order) pairs.
+        let mut distinct = std::collections::HashSet::new();
+        for (phrase, _) in &ads {
+            let tokens = broadmatch::tokenize(phrase);
+            let mut folded: Vec<String> = broadmatch::fold_duplicates(&tokens)
+                .iter()
+                .map(|t| t.key())
+                .collect();
+            folded.sort();
+            distinct.insert((folded, tokens));
+        }
+        // One posting per record; spread over however many rarest words.
+        let total: usize = index.posting_lists().min(distinct.len());
+        prop_assert!(total <= distinct.len());
+        prop_assert!(index.max_posting_list() <= distinct.len());
+    }
+
+    /// Redundancy (Section I-C): the modified baseline stores one posting
+    /// per word per distinct word set.
+    #[test]
+    fn modified_posting_count_is_sum_of_set_sizes(
+        corpus in proptest::collection::vec(proptest::collection::vec(0u8..10, 1..6), 1..40),
+    ) {
+        let ads = ads_from(&corpus);
+        let index = ModifiedInvertedIndex::build(&ads).expect("valid");
+
+        let mut sets = std::collections::HashSet::new();
+        for (phrase, _) in &ads {
+            let tokens = broadmatch::tokenize(phrase);
+            let mut folded: Vec<String> = broadmatch::fold_duplicates(&tokens)
+                .iter()
+                .map(|t| t.key())
+                .collect();
+            folded.sort();
+            sets.insert(folded);
+        }
+        let expected: usize = sets.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(index.total_postings(), expected);
+    }
+
+    /// The modified baseline reads at least one posting per query word that
+    /// exists in the corpus — there is no skipping (the paper: "we cannot
+    /// use the well-known skipping optimization").
+    #[test]
+    fn modified_merge_reads_every_posting(
+        corpus in proptest::collection::vec(proptest::collection::vec(0u8..6, 1..5), 1..30),
+        q_words in proptest::collection::vec(0u8..6, 1..5),
+    ) {
+        let ads = ads_from(&corpus);
+        let index = ModifiedInvertedIndex::build(&ads).expect("valid");
+        let query = phrase_from(&q_words);
+
+        let mut merge = CountingTracker::new();
+        index.query_broad_tracked(&query, &mut merge);
+        let mut traverse = CountingTracker::new();
+        let touched = index.traverse_only(&query, &mut traverse);
+
+        // The merge touches at least the traversal's posting volume
+        // (it additionally reads matched ads' metadata).
+        prop_assert!(merge.bytes_total() >= traverse.bytes_total(),
+            "merge read {} < traversal {} for {} postings",
+            merge.bytes_total(), traverse.bytes_total(), touched);
+    }
+}

@@ -1,0 +1,557 @@
+//! A small hardware simulator standing in for the VTune counters of Section
+//! VII-C.
+//!
+//! The paper explains the throughput gap between the re-mapped and
+//! non-re-mapped structures with four hardware performance counters: DTLB
+//! misses, page-walk cycles, L2 cache misses, and branch mispredictions.
+//! We cannot collect those portably, so [`HwSimTracker`] replays the *actual*
+//! address stream an index produces through textbook models:
+//!
+//! * two levels of set-associative, LRU data cache (L1/L2);
+//! * a fully-associative LRU DTLB with a fixed page-walk cost per miss;
+//! * a table of two-bit saturating counters for branch prediction.
+//!
+//! Only the *relative* movement of the counters between two layouts under the
+//! same probe pattern is meaningful, which is exactly how the paper uses
+//! them.
+
+use crate::tracker::AccessTracker;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a multiple of `line_bytes * associativity`.
+    pub size_bytes: usize,
+    /// Cache-line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Number of ways per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// 32 KiB, 64-byte lines, 8-way — a typical L1D.
+    pub fn l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+        }
+    }
+
+    /// 4 MiB, 64-byte lines, 16-way — the shared L2 of the paper's era Xeon.
+    pub fn l2() -> Self {
+        CacheConfig {
+            size_bytes: 4 * 1024 * 1024,
+            line_bytes: 64,
+            associativity: 16,
+        }
+    }
+}
+
+/// A set-associative LRU cache over 64-bit line addresses.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_shift: u32,
+    set_mask: u64,
+    assoc: usize,
+    /// `sets * assoc` tags; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry.
+    ///
+    /// # Panics
+    /// Panics if `line_bytes` is not a power of two or the geometry does not
+    /// divide evenly into sets.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.associativity >= 1);
+        let lines = config.size_bytes / config.line_bytes;
+        assert!(
+            lines.is_multiple_of(config.associativity) && lines > 0,
+            "cache size must divide into sets"
+        );
+        let sets = lines / config.associativity;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+            assoc: config.associativity,
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access the line containing byte address `addr`. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.assoc;
+        self.tick += 1;
+        let ways = &mut self.tags[base..base + self.assoc];
+        if let Some(i) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + i] = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        // Miss: evict the LRU way.
+        let victim = (0..self.assoc)
+            .min_by_key(|&i| self.stamps[base + i])
+            .expect("associativity >= 1");
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.tick;
+        self.misses += 1;
+        false
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cache-line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        1 << self.line_shift
+    }
+}
+
+/// Geometry of the simulated DTLB.
+#[derive(Debug, Clone, Copy)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative).
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: usize,
+    /// Cycles charged per page walk on a miss.
+    pub walk_cycles: u64,
+}
+
+impl TlbConfig {
+    /// 64 entries over 4 KiB pages, 30-cycle walks — a period-typical DTLB.
+    pub fn typical() -> Self {
+        TlbConfig {
+            entries: 64,
+            page_bytes: 4096,
+            walk_cycles: 30,
+        }
+    }
+}
+
+/// A fully-associative LRU translation lookaside buffer.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    page_shift: u32,
+    entries: Vec<u64>,
+    stamps: Vec<u64>,
+    walk_cycles: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    walk_cycles_total: u64,
+}
+
+impl Tlb {
+    /// Build a TLB with the given geometry.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.page_bytes.is_power_of_two());
+        assert!(config.entries >= 1);
+        Tlb {
+            page_shift: config.page_bytes.trailing_zeros(),
+            entries: vec![u64::MAX; config.entries],
+            stamps: vec![0; config.entries],
+            walk_cycles: config.walk_cycles,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            walk_cycles_total: 0,
+        }
+    }
+
+    /// Access the page containing `addr`. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        self.tick += 1;
+        if let Some(i) = self.entries.iter().position(|&p| p == page) {
+            self.stamps[i] = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        let victim = (0..self.entries.len())
+            .min_by_key(|&i| self.stamps[i])
+            .expect("entries >= 1");
+        self.entries[victim] = page;
+        self.stamps[victim] = self.tick;
+        self.misses += 1;
+        self.walk_cycles_total += self.walk_cycles;
+        false
+    }
+
+    /// Number of DTLB misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total cycles spent on simulated page walks.
+    pub fn walk_cycles_total(&self) -> u64 {
+        self.walk_cycles_total
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        1 << self.page_shift
+    }
+}
+
+/// A table of two-bit saturating counters indexed by a hash of the branch
+/// site id (the classic bimodal predictor), with per-site statistics.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    counters: Vec<u8>,
+    predictions: u64,
+    mispredictions: u64,
+    /// Per-site `(predictions, mispredictions)`.
+    per_site: std::collections::HashMap<u32, (u64, u64)>,
+}
+
+impl BranchPredictor {
+    /// Build a predictor with `slots` counters (rounded up to a power of two).
+    pub fn new(slots: usize) -> Self {
+        BranchPredictor {
+            counters: vec![1u8; slots.next_power_of_two().max(16)],
+            predictions: 0,
+            mispredictions: 0,
+            per_site: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Record the outcome of branch `site`; returns `true` if the predictor
+    /// had guessed right.
+    pub fn record(&mut self, site: u32, taken: bool) -> bool {
+        // Fibonacci hashing spreads consecutive site ids across the table.
+        let idx = ((site as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize
+            & (self.counters.len() - 1);
+        let c = &mut self.counters[idx];
+        let predicted_taken = *c >= 2;
+        self.predictions += 1;
+        let correct = predicted_taken == taken;
+        let entry = self.per_site.entry(site).or_insert((0, 0));
+        entry.0 += 1;
+        if !correct {
+            self.mispredictions += 1;
+            entry.1 += 1;
+        }
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        correct
+    }
+
+    /// Branches observed.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Branches mispredicted.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// `(predictions, mispredictions)` for one branch site.
+    pub fn site_stats(&self, site: u32) -> (u64, u64) {
+        self.per_site.get(&site).copied().unwrap_or((0, 0))
+    }
+}
+
+/// Configuration for the full simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct HwSimConfig {
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L2 cache geometry.
+    pub l2: CacheConfig,
+    /// DTLB geometry.
+    pub tlb: TlbConfig,
+    /// Branch-predictor table size.
+    pub branch_slots: usize,
+}
+
+impl Default for HwSimConfig {
+    fn default() -> Self {
+        HwSimConfig {
+            l1: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            tlb: TlbConfig::typical(),
+            branch_slots: 4096,
+        }
+    }
+}
+
+/// Snapshot of simulated hardware counters, mirroring the four VTune counters
+/// the paper reports in Section VII-C.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HwCounters {
+    /// Memory accesses simulated (cache-line touches).
+    pub accesses: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 misses (≈ trips to DRAM).
+    pub l2_misses: u64,
+    /// DTLB misses ("number of main memory accesses that missed the DTLB").
+    pub dtlb_misses: u64,
+    /// Cycles spent on page walks ("fraction of unhalted core cycles spent on
+    /// the page walks resulting from these misses").
+    pub page_walk_cycles: u64,
+    /// Conditional branches observed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub branch_mispredictions: u64,
+}
+
+impl HwCounters {
+    /// Percentage change of `f(self)` relative to `f(base)`; the form the
+    /// paper reports ("increase of more than 40%").
+    pub fn pct_change(base: u64, new: u64) -> f64 {
+        if base == 0 {
+            return 0.0;
+        }
+        (new as f64 - base as f64) / base as f64 * 100.0
+    }
+}
+
+/// An [`AccessTracker`] that feeds every reported access through the cache,
+/// TLB and branch models.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_memcost::{AccessTracker, HwSimTracker};
+///
+/// let mut hw = HwSimTracker::default();
+/// // A scattered pointer chase touches many pages...
+/// for i in 0..1000u64 {
+///     hw.random_access(i * 4096 * 17, 8);
+/// }
+/// let scattered = hw.counters();
+/// assert!(scattered.dtlb_misses > 900);
+///
+/// // ...while a sequential scan of the same volume stays within a few pages.
+/// let mut hw = HwSimTracker::default();
+/// for i in 0..1000u64 {
+///     hw.sequential_read(i * 8, 8);
+/// }
+/// assert!(hw.counters().dtlb_misses < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwSimTracker {
+    l1: Cache,
+    l2: Cache,
+    tlb: Tlb,
+    branches: BranchPredictor,
+    accesses: u64,
+}
+
+impl Default for HwSimTracker {
+    fn default() -> Self {
+        Self::new(HwSimConfig::default())
+    }
+}
+
+impl HwSimTracker {
+    /// Build a simulator from `config`.
+    pub fn new(config: HwSimConfig) -> Self {
+        HwSimTracker {
+            l1: Cache::new(config.l1),
+            l2: Cache::new(config.l2),
+            tlb: Tlb::new(config.tlb),
+            branches: BranchPredictor::new(config.branch_slots),
+            accesses: 0,
+        }
+    }
+
+    fn touch_range(&mut self, addr: u64, bytes: usize) {
+        let bytes = bytes.max(1) as u64;
+        let line = self.l1.line_bytes() as u64;
+        let page = self.tlb.page_bytes() as u64;
+        let mut a = addr & !(line - 1);
+        let end = addr + bytes;
+        while a < end {
+            self.accesses += 1;
+            if !self.l1.access(a) && !self.l2.access(a) {
+                // DRAM access; latency is accounted for by the cost model,
+                // the simulator only counts events.
+            }
+            a += line;
+        }
+        let mut p = addr & !(page - 1);
+        while p < end {
+            self.tlb.access(p);
+            p += page;
+        }
+    }
+
+    /// `(predictions, mispredictions)` for one branch site id.
+    pub fn branch_site_stats(&self, site: u32) -> (u64, u64) {
+        self.branches.site_stats(site)
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> HwCounters {
+        HwCounters {
+            accesses: self.accesses,
+            l1_misses: self.l1.misses(),
+            l2_misses: self.l2.misses(),
+            dtlb_misses: self.tlb.misses(),
+            page_walk_cycles: self.tlb.walk_cycles_total(),
+            branches: self.branches.predictions(),
+            branch_mispredictions: self.branches.mispredictions(),
+        }
+    }
+}
+
+impl AccessTracker for HwSimTracker {
+    #[inline]
+    fn random_access(&mut self, addr: u64, bytes: usize) {
+        self.touch_range(addr, bytes);
+    }
+
+    #[inline]
+    fn sequential_read(&mut self, addr: u64, bytes: usize) {
+        self.touch_range(addr, bytes);
+    }
+
+    #[inline]
+    fn branch(&mut self, site: u32, taken: bool) {
+        self.branches.record(site, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_on_repeat_access() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1004)); // same line
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn cache_lru_evicts_oldest() {
+        // Direct-mapped-ish tiny cache: 2 lines, 1 way, 64B lines -> 2 sets.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 64,
+            associativity: 1,
+        });
+        assert!(!c.access(0)); // set 0
+        assert!(!c.access(128)); // set 0, evicts line 0
+        assert!(!c.access(0)); // miss again
+    }
+
+    #[test]
+    fn cache_associativity_retains_conflicting_lines() {
+        // 2-way, single set: both conflicting lines fit.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 64,
+            associativity: 2,
+        });
+        assert!(!c.access(0));
+        assert!(!c.access(64 * 2)); // same set in a 1-set cache
+        assert!(c.access(0));
+        assert!(c.access(64 * 2));
+    }
+
+    #[test]
+    fn tlb_counts_walks() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            walk_cycles: 30,
+        });
+        t.access(0);
+        t.access(4096);
+        t.access(0); // hit
+        t.access(2 * 4096); // evicts page 1 (LRU)
+        t.access(4096); // miss again
+        assert_eq!(t.misses(), 4);
+        assert_eq!(t.walk_cycles_total(), 120);
+    }
+
+    #[test]
+    fn branch_predictor_learns_biased_branch() {
+        let mut p = BranchPredictor::new(64);
+        for _ in 0..100 {
+            p.record(7, true);
+        }
+        // After warm-up the always-taken branch is predicted perfectly.
+        assert!(p.mispredictions() <= 2);
+    }
+
+    #[test]
+    fn branch_predictor_struggles_on_alternating() {
+        let mut p = BranchPredictor::new(64);
+        for i in 0..100 {
+            p.record(7, i % 2 == 0);
+        }
+        // A bimodal predictor mispredicts roughly half of an alternating stream.
+        assert!(p.mispredictions() > 30);
+    }
+
+    #[test]
+    fn sim_counts_lines_and_pages_of_large_reads() {
+        let mut hw = HwSimTracker::default();
+        hw.sequential_read(0, 64 * 10);
+        let c = hw.counters();
+        assert_eq!(c.accesses, 10);
+        assert_eq!(c.l1_misses, 10);
+        assert_eq!(c.dtlb_misses, 1);
+    }
+
+    #[test]
+    fn random_stream_misses_more_than_sequential() {
+        // Steady state: repeatedly touch the same 512 KiB working set, either
+        // scattered (one line per page) or as a linear scan.
+        let mut rnd = HwSimTracker::default();
+        let mut seq = HwSimTracker::default();
+        for pass in 0..5u64 {
+            for i in 0..10_000u64 {
+                let scattered =
+                    ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) % (512 * 1024)) & !7;
+                rnd.random_access(scattered, 8);
+                seq.sequential_read((pass * 10_000 + i) % 65_536 * 8, 8);
+            }
+        }
+        // The linear scan stays in cache/TLB after the first pass; the
+        // scattered chase keeps paying.
+        assert!(rnd.counters().dtlb_misses > 10 * (seq.counters().dtlb_misses + 1));
+        assert!(rnd.counters().l1_misses > 2 * seq.counters().l1_misses);
+    }
+
+    #[test]
+    fn pct_change_formats() {
+        assert!((HwCounters::pct_change(100, 140) - 40.0).abs() < 1e-9);
+        assert!((HwCounters::pct_change(100, 88) + 12.0).abs() < 1e-9);
+        assert_eq!(HwCounters::pct_change(0, 5), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Main-memory access cost modeling and access tracking.
+//!
+//! This crate is the substrate behind Section IV-A of *"A Data Structure for
+//! Sponsored Search"* (ICDE 2009). The paper optimizes its index layout under
+//! a simplified cost model that distinguishes **random** memory accesses
+//! (assigned a fixed cost `Cost_Random`) from **sequential** scans of `m`
+//! bytes (assigned a monotonically increasing cost `Cost_Scan(m)`), and
+//! validates the resulting structures with hardware performance counters
+//! (DTLB misses, page-walk cycles, L2 cache misses, branch mispredictions —
+//! Section VII-C).
+//!
+//! Three pieces live here:
+//!
+//! * [`CostModel`] — the paper's `(Cost_Random, Cost_Scan)` pair. The paper
+//!   only requires `Cost_Scan` to be positive and monotone; we use an affine
+//!   function, which additionally lets the optimizer decompose node scan cost
+//!   per entry (documented in `DESIGN.md`).
+//! * [`AccessTracker`] — a trait through which every index data structure in
+//!   the workspace reports the memory accesses it performs. The
+//!   [`NullTracker`] compiles to nothing (wall-clock benchmarks), the
+//!   [`CountingTracker`] aggregates access/byte counts (the Fig. 8 byte-ratio
+//!   experiments), and the [`HwSimTracker`] drives a small cache/TLB/branch
+//!   simulator.
+//! * [`HwSimTracker`] — a stand-in for the Intel VTune counters of Section
+//!   VII-C, which cannot be collected portably. It simulates set-associative
+//!   L1/L2 data caches, an LRU DTLB with page-walk cost, and a table of
+//!   two-bit saturating branch counters, fed with the *actual* address stream
+//!   the index produces. The paper's analysis is about relative counter
+//!   movement between layouts under identical probe patterns, which this
+//!   reproduces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod hwsim;
+mod tracker;
+
+pub use cost::CostModel;
+pub use hwsim::{
+    BranchPredictor, Cache, CacheConfig, HwCounters, HwSimConfig, HwSimTracker, Tlb, TlbConfig,
+};
+pub use tracker::{AccessKind, AccessTracker, CountingTracker, NullTracker};

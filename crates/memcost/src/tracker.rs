@@ -1,0 +1,235 @@
+//! The [`AccessTracker`] trait and its counting implementations.
+
+use crate::CostModel;
+
+/// Sink for the memory accesses a data structure performs while answering a
+/// query.
+///
+/// Every index in this workspace (the broad-match hash structure, both
+/// inverted-index baselines, the compressed directory) funnels its reads
+/// through this trait so that a single code path serves three purposes:
+///
+/// * **Wall-clock benchmarking** with [`NullTracker`], whose methods are
+///   empty `#[inline]` bodies that vanish after monomorphization;
+/// * **Byte accounting** with [`CountingTracker`] (the paper's Fig. 8
+///   "amount of data accessed" experiments and the cost-model evaluation);
+/// * **Hardware-counter simulation** with
+///   [`HwSimTracker`](crate::HwSimTracker) (the Section VII-C analysis).
+///
+/// Addresses are logical byte offsets within whichever arena/heap the caller
+/// manages; they need to be stable and distinct across structures but are
+/// never dereferenced here.
+pub trait AccessTracker {
+    /// A random access (pointer chase / hash probe) touching `bytes` bytes at
+    /// `addr`.
+    fn random_access(&mut self, addr: u64, bytes: usize);
+
+    /// A sequential read of `bytes` bytes at `addr`, continuing a run whose
+    /// start has already been paid for via [`AccessTracker::random_access`].
+    fn sequential_read(&mut self, addr: u64, bytes: usize);
+
+    /// A conditional branch at call-site id `site` that was `taken` or not.
+    /// Used by the branch-misprediction simulation; counting trackers may
+    /// ignore it.
+    fn branch(&mut self, site: u32, taken: bool);
+}
+
+/// Which kind of access a read was. Used by reporting helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A pointer chase to an unrelated address.
+    Random,
+    /// A continuation of a sequential run.
+    Sequential,
+}
+
+/// A tracker that does nothing. With `opt-level >= 1` all calls disappear, so
+/// query code that is generic over [`AccessTracker`] can run at full speed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracker;
+
+impl AccessTracker for NullTracker {
+    #[inline(always)]
+    fn random_access(&mut self, _addr: u64, _bytes: usize) {}
+
+    #[inline(always)]
+    fn sequential_read(&mut self, _addr: u64, _bytes: usize) {}
+
+    #[inline(always)]
+    fn branch(&mut self, _site: u32, _taken: bool) {}
+}
+
+/// Aggregates access counts and byte volumes, and can price them under a
+/// [`CostModel`].
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_memcost::{AccessTracker, CostModel, CountingTracker};
+///
+/// let mut t = CountingTracker::default();
+/// t.random_access(0x1000, 8);
+/// t.sequential_read(0x1008, 56);
+/// assert_eq!(t.random_accesses, 1);
+/// assert_eq!(t.bytes_total(), 64);
+///
+/// let m = CostModel::default();
+/// let expected = m.cost_random + m.cost_scan(8) + m.cost_scan(56);
+/// assert!((t.modeled_cost(&m) - expected).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingTracker {
+    /// Number of random accesses.
+    pub random_accesses: u64,
+    /// Number of sequential reads.
+    pub sequential_reads: u64,
+    /// Bytes touched by random accesses.
+    pub bytes_random: u64,
+    /// Bytes touched by sequential reads.
+    pub bytes_sequential: u64,
+    /// Branch events observed (taken + not taken).
+    pub branches: u64,
+}
+
+impl CountingTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes read through this tracker.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_random + self.bytes_sequential
+    }
+
+    /// Price the recorded accesses under `model`.
+    ///
+    /// Each random access pays `Cost_Random` plus the scan cost of the bytes
+    /// it touches; each sequential read pays only its scan cost. With an
+    /// affine `Cost_Scan` this equals pricing every maximal run exactly.
+    pub fn modeled_cost(&self, model: &CostModel) -> f64 {
+        self.random_accesses as f64 * model.cost_random
+            + model.scan_base * (self.random_accesses + self.sequential_reads) as f64
+            + model.scan_byte * self.bytes_total() as f64
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Merge the counts of `other` into `self`.
+    pub fn merge(&mut self, other: &CountingTracker) {
+        self.random_accesses += other.random_accesses;
+        self.sequential_reads += other.sequential_reads;
+        self.bytes_random += other.bytes_random;
+        self.bytes_sequential += other.bytes_sequential;
+        self.branches += other.branches;
+    }
+}
+
+impl AccessTracker for CountingTracker {
+    #[inline]
+    fn random_access(&mut self, _addr: u64, bytes: usize) {
+        self.random_accesses += 1;
+        self.bytes_random += bytes as u64;
+    }
+
+    #[inline]
+    fn sequential_read(&mut self, _addr: u64, bytes: usize) {
+        self.sequential_reads += 1;
+        self.bytes_sequential += bytes as u64;
+    }
+
+    #[inline]
+    fn branch(&mut self, _site: u32, _taken: bool) {
+        self.branches += 1;
+    }
+}
+
+/// Forwarding impl so call sites can pass `&mut tracker` without caring about
+/// ownership.
+impl<T: AccessTracker + ?Sized> AccessTracker for &mut T {
+    #[inline(always)]
+    fn random_access(&mut self, addr: u64, bytes: usize) {
+        (**self).random_access(addr, bytes);
+    }
+
+    #[inline(always)]
+    fn sequential_read(&mut self, addr: u64, bytes: usize) {
+        (**self).sequential_read(addr, bytes);
+    }
+
+    #[inline(always)]
+    fn branch(&mut self, site: u32, taken: bool) {
+        (**self).branch(site, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_tracker_accumulates() {
+        let mut t = CountingTracker::new();
+        t.random_access(0, 16);
+        t.random_access(4096, 8);
+        t.sequential_read(16, 100);
+        t.branch(1, true);
+        t.branch(1, false);
+
+        assert_eq!(t.random_accesses, 2);
+        assert_eq!(t.sequential_reads, 1);
+        assert_eq!(t.bytes_random, 24);
+        assert_eq!(t.bytes_sequential, 100);
+        assert_eq!(t.bytes_total(), 124);
+        assert_eq!(t.branches, 2);
+    }
+
+    #[test]
+    fn modeled_cost_prices_random_and_scan() {
+        let mut t = CountingTracker::new();
+        t.random_access(0, 0);
+        t.sequential_read(0, 400);
+        let m = CostModel {
+            cost_random: 100.0,
+            scan_base: 1.0,
+            scan_byte: 0.25,
+        };
+        // 100 (random) + 2 * 1.0 (bases) + 0.25 * 400.
+        assert!((t.modeled_cost(&m) - 202.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = CountingTracker::new();
+        a.random_access(0, 8);
+        let mut b = CountingTracker::new();
+        b.sequential_read(8, 32);
+        a.merge(&b);
+        assert_eq!(a.random_accesses, 1);
+        assert_eq!(a.sequential_reads, 1);
+        assert_eq!(a.bytes_total(), 40);
+        a.reset();
+        assert_eq!(a, CountingTracker::default());
+    }
+
+    #[test]
+    fn null_tracker_is_callable() {
+        let mut t = NullTracker;
+        t.random_access(0, 1);
+        t.sequential_read(0, 1);
+        t.branch(0, true);
+    }
+
+    #[test]
+    fn forwarding_impl_works() {
+        fn probe<T: AccessTracker>(mut t: T) {
+            t.random_access(0, 4);
+        }
+        let mut c = CountingTracker::new();
+        probe(&mut c);
+        assert_eq!(c.random_accesses, 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! A minimal discrete-event queue over `f64` timestamps.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry: (time, tie-breaking sequence, payload).
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the earliest event.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must be finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue. Events at equal times pop in insertion
+/// order, making simulations deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_netsim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(2.0, "b");
+/// q.push(1.0, "a");
+/// q.push(2.0, "c");
+/// assert_eq!(q.pop(), Some((1.0, "a")));
+/// assert_eq!(q.pop(), Some((2.0, "b")));
+/// assert_eq!(q.pop(), Some((2.0, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN.
+    pub fn push(&mut self, time: f64, event: E) {
+        assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for (t, e) in [(5.0, 5), (1.0, 1), (3.0, 3), (2.0, 2), (4.0, 4)] {
+            q.push(t, e);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fifo_at_equal_times() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "first");
+        q.push(1.0, "second");
+        q.push(1.0, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_times() {
+        EventQueue::new().push(f64::NAN, ());
+    }
+}

@@ -1,0 +1,256 @@
+//! Exact weighted set cover by branch-and-bound, for small instances.
+
+use crate::{CandidateSet, CoverError, CoverSolution};
+
+/// Maximum universe size accepted by [`exact_cover`]; the element bitmask
+/// must fit a `u64` and the search is exponential anyway.
+pub const MAX_EXACT_UNIVERSE: u32 = 40;
+
+/// Optimal weighted set cover by branch-and-bound.
+///
+/// Branches on the lowest-id uncovered element (every cover must pay for it)
+/// and prunes with an admissible bound: each uncovered element costs at
+/// least "the cheapest per-element price of any set covering it". Intended
+/// for testing the greedy's approximation quality and for the optimizer
+/// ablation benchmarks — never for production-sized instances.
+///
+/// # Errors
+/// Same as [`crate::greedy_cover`], plus instances with
+/// `universe > MAX_EXACT_UNIVERSE` are rejected as uncoverable-by-policy via
+/// a panic (programmer error, not data error).
+///
+/// # Panics
+/// Panics if `universe > MAX_EXACT_UNIVERSE`.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_setcover::{exact_cover, greedy_cover, CandidateSet};
+///
+/// let candidates = vec![
+///     CandidateSet::new(vec![0, 1, 2], 1.4, 0),
+///     CandidateSet::new(vec![3], 1.0, 1),
+///     CandidateSet::new(vec![0, 1, 2, 3], 2.2, 2),
+/// ];
+/// let exact = exact_cover(4, &candidates).unwrap();
+/// let greedy = greedy_cover(4, &candidates).unwrap();
+/// assert!(exact.total_weight <= greedy.total_weight);
+/// assert_eq!(exact.total_weight, 2.2);
+/// ```
+pub fn exact_cover(
+    universe: u32,
+    candidates: &[CandidateSet],
+) -> Result<CoverSolution, CoverError> {
+    assert!(
+        universe <= MAX_EXACT_UNIVERSE,
+        "exact_cover is exponential; universe {universe} exceeds {MAX_EXACT_UNIVERSE}"
+    );
+    for (i, c) in candidates.iter().enumerate() {
+        if !c.weight.is_finite() || c.weight < 0.0 {
+            return Err(CoverError::InvalidWeight { candidate: i });
+        }
+    }
+
+    let full: u64 = if universe == 0 {
+        0
+    } else {
+        (1u64 << universe) - 1
+    };
+    let masks: Vec<u64> = candidates
+        .iter()
+        .map(|c| {
+            c.elements
+                .iter()
+                .filter(|&&e| e < universe)
+                .fold(0u64, |m, &e| m | 1 << e)
+        })
+        .collect();
+
+    // Per-element: sets covering it, and the cheapest per-element price.
+    let mut covering: Vec<Vec<usize>> = vec![Vec::new(); universe as usize];
+    let mut cheapest_price = vec![f64::INFINITY; universe as usize];
+    for (i, c) in candidates.iter().enumerate() {
+        let size = masks[i].count_ones().max(1) as f64;
+        for e in 0..universe {
+            if masks[i] >> e & 1 == 1 {
+                covering[e as usize].push(i);
+                let price = c.weight / size;
+                if price < cheapest_price[e as usize] {
+                    cheapest_price[e as usize] = price;
+                }
+            }
+        }
+    }
+    if let Some(e) = cheapest_price.iter().position(|p| p.is_infinite()) {
+        return Err(CoverError::Uncoverable { element: e as u32 });
+    }
+
+    struct Search<'a> {
+        candidates: &'a [CandidateSet],
+        masks: &'a [u64],
+        covering: &'a [Vec<usize>],
+        cheapest_price: &'a [f64],
+        full: u64,
+        best_weight: f64,
+        best: Vec<usize>,
+    }
+
+    impl Search<'_> {
+        fn bound(&self, covered: u64) -> f64 {
+            let mut uncovered = self.full & !covered;
+            let mut b = 0.0f64;
+            while uncovered != 0 {
+                let e = uncovered.trailing_zeros() as usize;
+                b += self.cheapest_price[e];
+                uncovered &= uncovered - 1;
+            }
+            b
+        }
+
+        fn go(&mut self, covered: u64, weight: f64, stack: &mut Vec<usize>) {
+            if covered == self.full {
+                if weight < self.best_weight {
+                    self.best_weight = weight;
+                    self.best = stack.clone();
+                }
+                return;
+            }
+            if weight + self.bound(covered) >= self.best_weight {
+                return;
+            }
+            let e = (self.full & !covered).trailing_zeros() as usize;
+            // Order branches by weight for earlier good incumbents.
+            let mut options: Vec<usize> = self.covering[e].clone();
+            options.sort_by(|&a, &b| {
+                self.candidates[a]
+                    .weight
+                    .partial_cmp(&self.candidates[b].weight)
+                    .expect("validated finite")
+            });
+            for i in options {
+                stack.push(i);
+                self.go(covered | self.masks[i], weight + self.candidates[i].weight, stack);
+                stack.pop();
+            }
+        }
+    }
+
+    let mut search = Search {
+        candidates,
+        masks: &masks,
+        covering: &covering,
+        cheapest_price: &cheapest_price,
+        full,
+        best_weight: f64::INFINITY,
+        best: Vec::new(),
+    };
+    // Seed the incumbent with "all sets" so the bound can prune immediately.
+    let all_weight: f64 = candidates.iter().map(|c| c.weight).sum();
+    search.best_weight = all_weight + 1.0;
+    search.go(0, 0.0, &mut Vec::new());
+
+    Ok(CoverSolution {
+        chosen: search.best,
+        total_weight: if universe == 0 { 0.0 } else { search.best_weight },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{greedy_cover, harmonic, with_withdrawals};
+
+    #[test]
+    fn empty_universe() {
+        let sol = exact_cover(0, &[]).unwrap();
+        assert!(sol.chosen.is_empty());
+        assert_eq!(sol.total_weight, 0.0);
+    }
+
+    #[test]
+    fn finds_optimum_on_small_instances() {
+        let candidates = vec![
+            CandidateSet::new(vec![0, 1], 2.0, 0),
+            CandidateSet::new(vec![1, 2], 2.0, 1),
+            CandidateSet::new(vec![0, 2], 2.0, 2),
+            CandidateSet::new(vec![0, 1, 2], 3.5, 3),
+        ];
+        let sol = exact_cover(3, &candidates).unwrap();
+        sol.validate(3, &candidates).unwrap();
+        // Two pair-sets cost 4.0; the triple costs 3.5.
+        assert_eq!(sol.total_weight, 3.5);
+        assert_eq!(sol.chosen, vec![3]);
+    }
+
+    #[test]
+    fn uncoverable_detected() {
+        let candidates = vec![CandidateSet::new(vec![0], 1.0, 0)];
+        assert!(matches!(
+            exact_cover(2, &candidates),
+            Err(CoverError::Uncoverable { element: 1 })
+        ));
+    }
+
+    /// Randomized cross-check: greedy within H_k of exact, withdrawals in
+    /// between. This is the paper's Section V-B guarantee.
+    #[test]
+    fn greedy_within_harmonic_bound_of_exact() {
+        let mut state = 0xDEADBEEFu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let universe = 3 + (rng() % 8) as u32; // 3..=10
+            let n_sets = 4 + (rng() % 12) as usize;
+            let max_size = 1 + (rng() % 4) as usize; // k <= 4
+            let mut candidates = Vec::new();
+            // Guarantee coverability with singletons.
+            for e in 0..universe {
+                candidates.push(CandidateSet::new(
+                    vec![e],
+                    1.0 + (rng() % 100) as f64 / 25.0,
+                    e as u64,
+                ));
+            }
+            for i in 0..n_sets {
+                let size = 1 + (rng() as usize % max_size);
+                let elements: Vec<u32> = (0..size).map(|_| (rng() % universe as u64) as u32).collect();
+                candidates.push(CandidateSet::new(
+                    elements,
+                    0.5 + (rng() % 100) as f64 / 20.0,
+                    100 + i as u64,
+                ));
+            }
+
+            let exact = exact_cover(universe, &candidates).unwrap();
+            let greedy = greedy_cover(universe, &candidates).unwrap();
+            let withdrawn = with_withdrawals(universe, &candidates, 5).unwrap();
+
+            exact.validate(universe, &candidates).unwrap();
+            greedy.validate(universe, &candidates).unwrap();
+            withdrawn.validate(universe, &candidates).unwrap();
+
+            let k = candidates
+                .iter()
+                .map(|c| {
+                    let mut v = c.elements.clone();
+                    v.sort_unstable();
+                    v.dedup();
+                    v.len()
+                })
+                .max()
+                .unwrap();
+            assert!(
+                greedy.total_weight <= harmonic(k) * exact.total_weight + 1e-9,
+                "trial {trial}: greedy {} > H_{k} * exact {}",
+                greedy.total_weight,
+                exact.total_weight
+            );
+            assert!(withdrawn.total_weight <= greedy.total_weight + 1e-9);
+            assert!(exact.total_weight <= withdrawn.total_weight + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Instance and solution types for weighted set cover.
+
+/// One candidate set in a weighted set cover instance.
+///
+/// In the re-mapping optimizer a candidate corresponds to one feasible data
+/// node: `elements` are the distinct word-set groups stored in the node,
+/// `weight` is the node's workload cost contribution (`weight(S)` of the
+/// paper's equation (2)), and `tag` identifies the node locator so the
+/// caller can reconstruct the mapping from the chosen sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSet {
+    /// Covered element ids. Duplicates are ignored; order is irrelevant.
+    pub elements: Vec<u32>,
+    /// Cost of choosing this set. Must be non-negative and finite.
+    pub weight: f64,
+    /// Opaque caller payload identifying what this set represents.
+    pub tag: u64,
+}
+
+impl CandidateSet {
+    /// Convenience constructor.
+    pub fn new(elements: Vec<u32>, weight: f64, tag: u64) -> Self {
+        CandidateSet {
+            elements,
+            weight,
+            tag,
+        }
+    }
+}
+
+/// Why a cover could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverError {
+    /// Some element of the universe is in no candidate set.
+    Uncoverable {
+        /// The first element found to be uncoverable.
+        element: u32,
+    },
+    /// A candidate set had a negative, NaN or infinite weight.
+    InvalidWeight {
+        /// Index of the offending candidate.
+        candidate: usize,
+    },
+}
+
+impl std::fmt::Display for CoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverError::Uncoverable { element } => {
+                write!(f, "element {element} is not contained in any candidate set")
+            }
+            CoverError::InvalidWeight { candidate } => {
+                write!(f, "candidate set {candidate} has an invalid weight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+/// A computed cover: indices into the candidate list, plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverSolution {
+    /// Indices of the chosen candidate sets.
+    pub chosen: Vec<usize>,
+    /// Sum of the chosen sets' weights.
+    pub total_weight: f64,
+}
+
+impl CoverSolution {
+    /// Verify that `chosen` covers every element in `0..universe` and that
+    /// `total_weight` is consistent. Used by tests and debug assertions.
+    pub fn validate(&self, universe: u32, candidates: &[CandidateSet]) -> Result<(), String> {
+        let mut covered = vec![false; universe as usize];
+        let mut weight = 0.0;
+        for &i in &self.chosen {
+            let c = candidates
+                .get(i)
+                .ok_or_else(|| format!("chosen index {i} out of range"))?;
+            for &e in &c.elements {
+                if let Some(slot) = covered.get_mut(e as usize) {
+                    *slot = true;
+                }
+            }
+            weight += c.weight;
+        }
+        if let Some(missing) = covered.iter().position(|&c| !c) {
+            return Err(format!("element {missing} left uncovered"));
+        }
+        if (weight - self.total_weight).abs() > 1e-6 * weight.abs().max(1.0) {
+            return Err(format!(
+                "total_weight {} disagrees with recomputed {}",
+                self.total_weight, weight
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_gaps() {
+        let candidates = vec![CandidateSet::new(vec![0, 1], 1.0, 0)];
+        let sol = CoverSolution {
+            chosen: vec![0],
+            total_weight: 1.0,
+        };
+        assert!(sol.validate(2, &candidates).is_ok());
+        assert!(sol.validate(3, &candidates).is_err());
+    }
+
+    #[test]
+    fn validate_catches_weight_mismatch() {
+        let candidates = vec![CandidateSet::new(vec![0], 1.0, 0)];
+        let sol = CoverSolution {
+            chosen: vec![0],
+            total_weight: 2.0,
+        };
+        assert!(sol.validate(1, &candidates).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CoverError::Uncoverable { element: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,55 @@
+//! Weighted set cover solvers for the re-mapping optimizer of Section V.
+//!
+//! The paper proves that computing the latency-optimal assignment of ads to
+//! data nodes is equivalent to **weighted set cover** over a base family
+//! `S_Base` of feasible node contents, with `weight(S)` the node's
+//! contribution to the workload cost (equation (2)). General weighted set
+//! cover is NP-hard and inapproximable below `Ω(ln |S_Base|)` [Feige '98],
+//! but the cost model bounds the useful size of a node to a small `k`, and
+//! for `k`-bounded set sizes the classic greedy algorithm of Chvátal is an
+//! `H_k`-approximation (`H_k = Σ_{i≤k} 1/i`); "withdrawal steps"
+//! [Hassin–Levin '05] tighten it further.
+//!
+//! This crate implements:
+//!
+//! * [`greedy_cover`] — lazy (priority-queue) greedy, the paper's production
+//!   algorithm;
+//! * [`with_withdrawals`] — greedy followed by withdrawal/local-improvement
+//!   steps;
+//! * [`exact_cover`] — branch-and-bound, exponential, for small instances;
+//!   used in tests and the approximation-quality ablation;
+//! * [`harmonic`] — `H_k`, for checking the guarantee.
+//!
+//! Elements are dense `u32` ids (the core crate maps distinct word-set
+//! groups onto them). Candidate sets carry an opaque `tag` so the caller can
+//! map chosen sets back to node locators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exact;
+mod greedy;
+mod instance;
+
+pub use exact::exact_cover;
+pub use greedy::{greedy_cover, with_withdrawals};
+pub use instance::{CandidateSet, CoverError, CoverSolution};
+
+/// The `k`-th harmonic number `H_k = Σ_{i=1..k} 1/i` — the greedy
+/// approximation factor for set sizes bounded by `k` (paper, Section V-B).
+pub fn harmonic(k: usize) -> f64 {
+    (1..=k).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+}

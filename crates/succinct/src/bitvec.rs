@@ -1,0 +1,176 @@
+//! A plain, growable bit vector backed by 64-bit words.
+
+/// A bit vector over `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_succinct::BitVec;
+///
+/// let mut bv = BitVec::new(130);
+/// bv.set(0, true);
+/// bv.set(64, true);
+/// bv.set(129, true);
+/// assert_eq!(bv.count_ones(), 3);
+/// assert!(bv.get(64));
+/// assert!(!bv.get(63));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl BitVec {
+    /// An all-zero bit vector of `len` bits.
+    pub fn new(len: u64) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64) as usize],
+            len,
+        }
+    }
+
+    /// Build from the sorted-or-not positions of the set bits.
+    ///
+    /// # Panics
+    /// Panics if any position is `>= len`.
+    pub fn from_ones(len: u64, ones: impl IntoIterator<Item = u64>) -> Self {
+        let mut bv = BitVec::new(len);
+        for pos in ones {
+            bv.set(pos, true);
+        }
+        bv
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the vector has no bits at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: u64) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: u64, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let i = self.len - 1;
+        if value {
+            self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+        }
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// The backing words (the final word's high bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterator over the positions of the set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi as u64 * 64;
+            std::iter::successors(
+                if w == 0 { None } else { Some(w) },
+                |&rest| {
+                    let next = rest & (rest - 1);
+                    if next == 0 {
+                        None
+                    } else {
+                        Some(next)
+                    }
+                },
+            )
+            .map(move |rest| base + rest.trailing_zeros() as u64)
+        })
+    }
+
+    /// Size of the raw bit data in bits (excluding the `Vec` header).
+    pub fn size_bits(&self) -> u64 {
+        self.words.len() as u64 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut bv = BitVec::default();
+        for i in 0..200 {
+            bv.push(i % 3 == 0);
+        }
+        assert_eq!(bv.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bv.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bv.count_ones(), (0..200).filter(|i| i % 3 == 0).count() as u64);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut bv = BitVec::new(100);
+        bv.set(42, true);
+        assert!(bv.get(42));
+        bv.set(42, false);
+        assert!(!bv.get(42));
+        assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let ones = [0u64, 1, 63, 64, 65, 127, 128, 199];
+        let bv = BitVec::from_ones(200, ones.iter().copied());
+        let collected: Vec<u64> = bv.iter_ones().collect();
+        assert_eq!(collected, ones);
+    }
+
+    #[test]
+    fn iter_ones_empty_and_full_words() {
+        let bv = BitVec::new(128);
+        assert_eq!(bv.iter_ones().count(), 0);
+        let bv = BitVec::from_ones(128, 0..128);
+        assert_eq!(bv.iter_ones().count(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::new(10).get(10);
+    }
+}

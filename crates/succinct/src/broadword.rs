@@ -1,0 +1,129 @@
+//! Broadword select-in-word, in the spirit of S. Vigna, *Broadword
+//! Implementation of Rank/Select Queries* (WEA 2008) — the paper's
+//! reference [23].
+
+const ONES_STEP_8: u64 = 0x0101_0101_0101_0101;
+
+/// Position of the `k`-th (0-based) set bit of `w`.
+///
+/// Computes per-byte popcounts with sideways addition and a multiply-based
+/// prefix sum (the broadword part), then locates the containing byte with an
+/// eight-step scan and finishes inside the byte.
+///
+/// # Panics
+/// Panics in debug builds if `w` has fewer than `k + 1` set bits; in release
+/// builds the result is unspecified in that case.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_succinct::select_in_word;
+///
+/// assert_eq!(select_in_word(0b1011, 0), 0);
+/// assert_eq!(select_in_word(0b1011, 1), 1);
+/// assert_eq!(select_in_word(0b1011, 2), 3);
+/// assert_eq!(select_in_word(u64::MAX, 63), 63);
+/// ```
+#[inline]
+pub fn select_in_word(w: u64, k: u32) -> u32 {
+    debug_assert!(
+        w.count_ones() > k,
+        "select_in_word: word {w:#x} has fewer than {} set bits",
+        k + 1
+    );
+    // Sideways addition: per-byte popcounts in each byte lane.
+    let mut s = w - ((w >> 1) & 0x5555_5555_5555_5555);
+    s = (s & 0x3333_3333_3333_3333) + ((s >> 2) & 0x3333_3333_3333_3333);
+    s = (s + (s >> 4)) & (0x0F * ONES_STEP_8);
+    // Inclusive prefix sums of the byte popcounts, one per byte lane.
+    let prefix = s.wrapping_mul(ONES_STEP_8);
+
+    // Find the first byte whose inclusive prefix exceeds k.
+    let mut byte_idx = 0u32;
+    while byte_idx < 7 {
+        let cum = (prefix >> (byte_idx * 8)) & 0xFF;
+        if cum as u32 > k {
+            break;
+        }
+        byte_idx += 1;
+    }
+    let below = if byte_idx == 0 {
+        0
+    } else {
+        ((prefix >> ((byte_idx - 1) * 8)) & 0xFF) as u32
+    };
+    let byte = ((w >> (byte_idx * 8)) & 0xFF) as u8;
+    byte_idx * 8 + select_in_byte(byte, k - below)
+}
+
+/// Select within a byte by scanning set bits (at most 8 steps).
+#[inline]
+fn select_in_byte(mut byte: u8, mut k: u32) -> u32 {
+    let mut pos = 0u32;
+    loop {
+        debug_assert!(byte != 0, "select_in_byte ran out of bits");
+        let tz = byte.trailing_zeros();
+        pos += tz;
+        if k == 0 {
+            return pos;
+        }
+        k -= 1;
+        byte >>= tz + 1;
+        pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_select(w: u64, k: u32) -> u32 {
+        let mut seen = 0;
+        for i in 0..64 {
+            if (w >> i) & 1 == 1 {
+                if seen == k {
+                    return i;
+                }
+                seen += 1;
+            }
+        }
+        panic!("not enough bits");
+    }
+
+    #[test]
+    fn matches_naive_on_patterns() {
+        let patterns = [
+            1u64,
+            0b1011,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x5555_5555_5555_5555,
+            0xF0F0_F0F0_0F0F_0F0F,
+            0x0123_4567_89AB_CDEF,
+        ];
+        for &w in &patterns {
+            for k in 0..w.count_ones() {
+                assert_eq!(select_in_word(w, k), naive_select(w, k), "w={w:#x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_words() {
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        for _ in 0..2000 {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let w = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            if w == 0 {
+                continue;
+            }
+            for k in 0..w.count_ones() {
+                assert_eq!(select_in_word(w, k), naive_select(w, k), "w={w:#x} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The compressed node directory of Section VI (Fig. 6): `B^sig` + `B^off`
+//! replacing the hash table `H`.
+
+use crate::{zero_order_entropy_bits, BitVec, EliasFano, RankSelect};
+
+/// Representation of the `B^sig` bitmap (which `s`-bit hash suffixes have a
+/// data node).
+///
+/// The paper stores `B^sig` as a compressed bit array of length `2^s`. For
+/// dense suffix populations a plain rank9 bitmap is smaller and faster; for
+/// sparse ones an Elias–Fano encoding of the set-bit positions approaches
+/// the `n·H₀(B^sig)` bound. [`CompressedDirectory::new`] picks whichever is
+/// smaller (the trade-off discussed under *"Selecting the suffix-size s"*).
+#[derive(Debug, Clone)]
+pub enum SigIndex {
+    /// Plain bitmap of length `2^s` with rank support.
+    Dense(RankSelect),
+    /// Elias–Fano over the positions of the set bits.
+    Sparse(EliasFano),
+}
+
+impl SigIndex {
+    /// Rank of `suffix` among present suffixes, if present.
+    fn lookup(&self, suffix: u64) -> Option<u64> {
+        match self {
+            SigIndex::Dense(rs) => {
+                if suffix >= rs.len() || !rs.get(suffix) {
+                    None
+                } else {
+                    Some(rs.rank1(suffix))
+                }
+            }
+            SigIndex::Sparse(ef) => {
+                let r = ef.rank_lt(suffix);
+                if r < ef.len() && ef.get(r) == suffix {
+                    Some(r)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Size of this representation in bits.
+    pub fn size_bits(&self) -> u64 {
+        match self {
+            SigIndex::Dense(rs) => rs.size_bits(),
+            SigIndex::Sparse(ef) => ef.size_bits(),
+        }
+    }
+
+    /// True if the dense representation is used.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, SigIndex::Dense(_))
+    }
+}
+
+/// Space accounting for a [`CompressedDirectory`], in bits.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectorySpace {
+    /// Bits used by the signature index (`B^sig`).
+    pub sig_bits: u64,
+    /// Bits used by the offset index (`B^off`, Elias–Fano encoded).
+    pub off_bits: u64,
+    /// The paper's entropy bound `n·H₀(B^sig)` for the signature bitmap.
+    pub sig_entropy_bound: f64,
+    /// The paper's entropy bound `n·H₀(B^off)` for the offset bitmap.
+    pub off_entropy_bound: f64,
+    /// Number of directory entries (distinct suffixes / data nodes).
+    pub entries: u64,
+}
+
+impl DirectorySpace {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.sig_bits + self.off_bits
+    }
+}
+
+/// The compressed replacement for the node hash table `H` (paper §VI).
+///
+/// Data nodes are stored in increasing order of the `s`-bit suffix of their
+/// locator's `wordhash`; nodes whose suffixes collide are merged by the
+/// caller before construction. A lookup checks `B^sig[suffix]`, computes the
+/// suffix's rank, and selects the node's byte extent from the offset index —
+/// `offset = select1(B^off, rank1(B^sig, suffix))` in the paper's notation.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_succinct::CompressedDirectory;
+///
+/// // Three nodes with suffixes 2, 9, 12 and lengths 10, 20, 5.
+/// let dir = CompressedDirectory::new(4, &[(2, 10), (9, 20), (12, 5)]);
+/// assert_eq!(dir.lookup(2), Some((0, 10)));
+/// assert_eq!(dir.lookup(9), Some((10, 30)));
+/// assert_eq!(dir.lookup(12), Some((30, 35)));
+/// assert_eq!(dir.lookup(3), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompressedDirectory {
+    suffix_bits: u32,
+    sig: SigIndex,
+    /// `entries + 1` byte offsets; node `r` occupies `[get(r), get(r+1))`.
+    offsets: EliasFano,
+}
+
+impl CompressedDirectory {
+    /// Build a directory over nodes laid out contiguously in suffix order.
+    ///
+    /// `nodes` is a list of `(suffix, byte_len)` pairs with **strictly
+    /// increasing** suffixes, each `< 2^suffix_bits`. Node `i`'s byte extent
+    /// starts where node `i-1` ends, mirroring the paper's layout ("we store
+    /// the corresponding data nodes in main memory in order of the s-bit
+    /// suffix of the hash value of their node locator").
+    ///
+    /// # Panics
+    /// Panics if suffixes are not strictly increasing or out of range.
+    pub fn new(suffix_bits: u32, nodes: &[(u64, u64)]) -> Self {
+        assert!(suffix_bits <= 48, "suffix width {suffix_bits} unreasonably large");
+        let universe = 1u64 << suffix_bits;
+        let mut suffixes = Vec::with_capacity(nodes.len());
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut cursor = 0u64;
+        let mut prev: Option<u64> = None;
+        for &(suffix, len) in nodes {
+            assert!(suffix < universe, "suffix {suffix} out of range for s={suffix_bits}");
+            if let Some(p) = prev {
+                assert!(suffix > p, "suffixes must be strictly increasing");
+            }
+            prev = Some(suffix);
+            suffixes.push(suffix);
+            offsets.push(cursor);
+            cursor += len;
+        }
+        offsets.push(cursor);
+
+        // Pick the smaller B^sig representation.
+        let sparse = EliasFano::new(&suffixes, universe.saturating_sub(1).max(1));
+        let sig = if !suffixes.is_empty() {
+            let dense_bits_estimate = universe + universe / 4; // bitmap + rank overhead
+            if dense_bits_estimate <= sparse.size_bits() {
+                SigIndex::Dense(RankSelect::new(BitVec::from_ones(
+                    universe,
+                    suffixes.iter().copied(),
+                )))
+            } else {
+                SigIndex::Sparse(sparse)
+            }
+        } else {
+            SigIndex::Sparse(sparse)
+        };
+
+        CompressedDirectory {
+            suffix_bits,
+            sig,
+            offsets: EliasFano::new(&offsets, cursor),
+        }
+    }
+
+    /// The suffix width `s`.
+    pub fn suffix_bits(&self) -> u32 {
+        self.suffix_bits
+    }
+
+    /// Mask a full 64-bit `wordhash` value down to its `s`-bit suffix.
+    #[inline]
+    pub fn suffix_of(&self, hash: u64) -> u64 {
+        hash & ((1u64 << self.suffix_bits) - 1)
+    }
+
+    /// Number of directory entries.
+    pub fn len(&self) -> u64 {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True if the directory has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Byte extent `[start, end)` of the node for `suffix`, if present.
+    #[inline]
+    pub fn lookup(&self, suffix: u64) -> Option<(u64, u64)> {
+        let r = self.sig.lookup(suffix)?;
+        Some((self.offsets.get(r), self.offsets.get(r + 1)))
+    }
+
+    /// Byte extent of the node with rank `r` (in suffix order).
+    ///
+    /// # Panics
+    /// Panics if `r >= len()`.
+    pub fn extent_by_rank(&self, r: u64) -> (u64, u64) {
+        assert!(r < self.len(), "rank {r} out of range {}", self.len());
+        (self.offsets.get(r), self.offsets.get(r + 1))
+    }
+
+    /// The suffix of the node with rank `r` (in suffix order) — the inverse
+    /// of [`CompressedDirectory::lookup`], used to re-serialize the
+    /// directory.
+    ///
+    /// # Panics
+    /// Panics if `r >= len()`.
+    pub fn suffix_by_rank(&self, r: u64) -> u64 {
+        assert!(r < self.len(), "rank {r} out of range {}", self.len());
+        match &self.sig {
+            SigIndex::Dense(rs) => rs.select1(r).expect("rank bounded by ones"),
+            SigIndex::Sparse(ef) => ef.get(r),
+        }
+    }
+
+    /// Which `B^sig` representation was chosen.
+    pub fn sig_index(&self) -> &SigIndex {
+        &self.sig
+    }
+
+    /// Space accounting, including the paper's entropy bounds.
+    pub fn space(&self) -> DirectorySpace {
+        let n = self.len();
+        let universe = 1u64 << self.suffix_bits;
+        let total_bytes = if n == 0 { 0 } else { self.offsets.get(n) };
+        DirectorySpace {
+            sig_bits: self.sig.size_bits(),
+            off_bits: self.offsets.size_bits(),
+            sig_entropy_bound: zero_order_entropy_bits(universe, n),
+            off_entropy_bound: zero_order_entropy_bits(total_bytes.max(n), n),
+            entries: n,
+        }
+    }
+}
+
+/// One row of the suffix-width trade-off sweep (§VI, "Selecting the
+/// suffix-size s").
+#[derive(Debug, Clone, Copy)]
+pub struct SuffixTradeoffRow {
+    /// Candidate suffix width.
+    pub suffix_bits: u32,
+    /// Estimated directory size in bits at this width (entropy-based).
+    pub directory_bits: f64,
+    /// Expected *extra* bytes scanned per node visit due to suffix
+    /// collisions merging unrelated nodes.
+    pub extra_scan_bytes: f64,
+}
+
+/// Sweep candidate suffix widths for `n_nodes` nodes of `avg_node_bytes`
+/// each, reporting the §VI trade-off: shorter suffixes shrink `B^sig`
+/// but merge more unrelated nodes, inflating every lookup's scan.
+///
+/// With suffixes uniform over `2^s`, the number of *other* nodes sharing a
+/// given node's suffix is ≈ `(n-1)/2^s`, each adding `avg_node_bytes` to
+/// the merged node a visiting query must scan.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_succinct::suffix_tradeoff;
+///
+/// let rows = suffix_tradeoff(100_000, 80, 14..=30);
+/// // Wider suffixes cost more bits but collide less.
+/// assert!(rows.first().unwrap().extra_scan_bytes > rows.last().unwrap().extra_scan_bytes);
+/// assert!(rows.first().unwrap().directory_bits < rows.last().unwrap().directory_bits);
+/// ```
+pub fn suffix_tradeoff(
+    n_nodes: u64,
+    avg_node_bytes: u64,
+    widths: std::ops::RangeInclusive<u32>,
+) -> Vec<SuffixTradeoffRow> {
+    let n = n_nodes.max(1) as f64;
+    widths
+        .map(|s| {
+            let universe = (1u64 << s) as f64;
+            // Distinct suffixes present ~ universe * (1 - (1-1/u)^n).
+            let occupied = universe * (1.0 - (1.0 - 1.0 / universe).powf(n));
+            let sig_bits = zero_order_entropy_bits(1u64 << s, occupied.round() as u64);
+            // B^off: one 1-bit per occupied suffix over the byte span.
+            let total_bytes = (n * avg_node_bytes as f64).max(occupied);
+            let off_bits =
+                zero_order_entropy_bits(total_bytes.round() as u64, occupied.round() as u64);
+            let extra_nodes_per_suffix = (n - 1.0) / universe;
+            SuffixTradeoffRow {
+                suffix_bits: s,
+                directory_bits: sig_bits + off_bits,
+                extra_scan_bytes: extra_nodes_per_suffix * avg_node_bytes as f64,
+            }
+        })
+        .collect()
+}
+
+/// Pick the narrowest suffix width whose expected collision-induced extra
+/// scan stays below `max_extra_scan_bytes` — the practical resolution of
+/// the §VI trade-off (the paper's example tolerates a 1:13 suffix-to-node
+/// ratio, "a small number of additional hash collisions").
+pub fn pick_suffix_bits_by_model(
+    n_nodes: u64,
+    avg_node_bytes: u64,
+    max_extra_scan_bytes: f64,
+) -> u32 {
+    for row in suffix_tradeoff(n_nodes, avg_node_bytes, 8..=40) {
+        if row.extra_scan_bytes <= max_extra_scan_bytes {
+            return row.suffix_bits;
+        }
+    }
+    40
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_tradeoff_is_monotone() {
+        let rows = suffix_tradeoff(1_000_000, 100, 12..=32);
+        for w in rows.windows(2) {
+            assert!(w[1].extra_scan_bytes < w[0].extra_scan_bytes);
+            assert!(w[1].directory_bits >= w[0].directory_bits * 0.99);
+        }
+    }
+
+    #[test]
+    fn model_pick_scales_with_node_count() {
+        let small = pick_suffix_bits_by_model(1_000, 80, 8.0);
+        let big = pick_suffix_bits_by_model(10_000_000, 80, 8.0);
+        assert!(big > small, "more nodes need wider suffixes: {small} vs {big}");
+        // Tolerating more scan lets the suffix shrink.
+        let loose = pick_suffix_bits_by_model(1_000_000, 80, 800.0);
+        let tight = pick_suffix_bits_by_model(1_000_000, 80, 1.0);
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn paper_example_ratio_is_small() {
+        // 20M distinct sets at s=28: the paper calls the 1:13 ratio "a
+        // small number of additional hash collisions" — under 6 extra bytes
+        // per visit at 75-byte nodes.
+        let rows = suffix_tradeoff(20_000_000, 75, 28..=28);
+        assert!(rows[0].extra_scan_bytes < 6.0, "{}", rows[0].extra_scan_bytes);
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let nodes: Vec<(u64, u64)> = vec![(0, 5), (7, 3), (100, 1), (1023, 42)];
+        let dir = CompressedDirectory::new(10, &nodes);
+        assert_eq!(dir.len(), 4);
+        assert_eq!(dir.lookup(0), Some((0, 5)));
+        assert_eq!(dir.lookup(7), Some((5, 8)));
+        assert_eq!(dir.lookup(100), Some((8, 9)));
+        assert_eq!(dir.lookup(1023), Some((9, 51)));
+        for miss in [1u64, 6, 8, 99, 101, 1022] {
+            assert_eq!(dir.lookup(miss), None, "suffix {miss}");
+        }
+    }
+
+    #[test]
+    fn empty_directory() {
+        let dir = CompressedDirectory::new(8, &[]);
+        assert!(dir.is_empty());
+        assert_eq!(dir.lookup(0), None);
+        assert_eq!(dir.lookup(255), None);
+    }
+
+    #[test]
+    fn zero_length_nodes_are_representable() {
+        let dir = CompressedDirectory::new(4, &[(1, 0), (2, 10)]);
+        assert_eq!(dir.lookup(1), Some((0, 0)));
+        assert_eq!(dir.lookup(2), Some((0, 10)));
+    }
+
+    #[test]
+    fn suffix_of_masks() {
+        let dir = CompressedDirectory::new(8, &[(3, 1)]);
+        assert_eq!(dir.suffix_of(0xABCD_1203), 0x03);
+    }
+
+    #[test]
+    fn dense_chosen_for_dense_populations() {
+        // 200 of 256 suffixes present: dense wins.
+        let nodes: Vec<(u64, u64)> = (0..200u64).map(|s| (s, 4)).collect();
+        let dir = CompressedDirectory::new(8, &nodes);
+        assert!(dir.sig_index().is_dense());
+        for s in 0..200 {
+            assert!(dir.lookup(s).is_some());
+        }
+        assert_eq!(dir.lookup(200), None);
+    }
+
+    #[test]
+    fn sparse_chosen_for_sparse_populations() {
+        // 10 of 2^20 suffixes present: sparse wins by orders of magnitude.
+        let nodes: Vec<(u64, u64)> = (0..10u64).map(|i| (i * 99_991, 8)).collect();
+        let dir = CompressedDirectory::new(20, &nodes);
+        assert!(!dir.sig_index().is_dense());
+        for &(s, _) in &nodes {
+            assert!(dir.lookup(s).is_some(), "suffix {s}");
+        }
+        assert_eq!(dir.lookup(5), None);
+        // Sparse rep should be far smaller than the 1 Mibit dense bitmap.
+        assert!(dir.space().sig_bits < (1 << 20) / 4);
+    }
+
+    #[test]
+    fn space_report_totals() {
+        let nodes: Vec<(u64, u64)> = (0..50u64).map(|s| (s * 3, 100)).collect();
+        let dir = CompressedDirectory::new(12, &nodes);
+        let space = dir.space();
+        assert_eq!(space.entries, 50);
+        assert_eq!(space.total_bits(), space.sig_bits + space.off_bits);
+        assert!(space.sig_entropy_bound > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_suffixes() {
+        CompressedDirectory::new(8, &[(5, 1), (5, 1)]);
+    }
+}

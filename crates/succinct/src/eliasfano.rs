@@ -1,0 +1,220 @@
+//! Elias–Fano encoding of monotone sequences.
+
+use crate::{BitVec, RankSelect};
+
+/// A compressed, random-access encoding of a non-decreasing sequence of
+/// integers.
+///
+/// For `n` values bounded by `u`, the encoding splits each value into
+/// `l = floor(log2(u/n))` low bits, stored verbatim, and a high part stored
+/// as unary gaps in a bit vector with select support. Space is
+/// `n·(l + 2) + o(n)` bits ≈ `n·(log2(u/n) + 2)`, close to the
+/// information-theoretic minimum — which is why the paper's `B^off` bit
+/// array (node start offsets, a strictly increasing sequence) compresses to
+/// roughly its zero-order entropy.
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_succinct::EliasFano;
+///
+/// let ef = EliasFano::new(&[2, 3, 5, 7, 11, 13], 16);
+/// assert_eq!(ef.get(0), 2);
+/// assert_eq!(ef.get(4), 11);
+/// assert_eq!(ef.len(), 6);
+/// // rank-style query: how many values are strictly below 7?
+/// assert_eq!(ef.rank_lt(7), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EliasFano {
+    low: BitVec,
+    high: RankSelect,
+    low_bits: u32,
+    len: u64,
+    universe: u64,
+}
+
+impl EliasFano {
+    /// Encode `values` (non-decreasing, each `<= universe`).
+    ///
+    /// # Panics
+    /// Panics if the sequence decreases or exceeds `universe`.
+    pub fn new(values: &[u64], universe: u64) -> Self {
+        let n = values.len() as u64;
+        let low_bits = match universe.checked_div(n) {
+            None => 0, // empty sequence
+            Some(ratio) => ratio.max(1).ilog2(),
+        };
+        let mut low = BitVec::new(n * low_bits as u64);
+        let mut high = BitVec::new(n + (universe >> low_bits) + 1);
+        let mut prev = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v >= prev, "EliasFano input must be non-decreasing");
+            assert!(v <= universe, "value {v} exceeds universe {universe}");
+            prev = v;
+            for b in 0..low_bits as u64 {
+                if (v >> b) & 1 == 1 {
+                    low.set(i as u64 * low_bits as u64 + b, true);
+                }
+            }
+            high.set((v >> low_bits) + i as u64, true);
+        }
+        EliasFano {
+            low,
+            high: RankSelect::new(high),
+            low_bits,
+            len: n,
+            universe,
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if no values are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The universe bound the sequence was encoded against.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The `i`-th value.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: u64) -> u64 {
+        assert!(i < self.len, "EliasFano index {i} out of range {}", self.len);
+        let high = self.high.select1(i).expect("index checked") - i;
+        let mut lowv = 0u64;
+        for b in 0..self.low_bits as u64 {
+            if self.low.get(i * self.low_bits as u64 + b) {
+                lowv |= 1 << b;
+            }
+        }
+        (high << self.low_bits) | lowv
+    }
+
+    /// Number of values strictly less than `x` (a `rank` over the encoded
+    /// set; for sequences with duplicates, counts all copies below `x`).
+    pub fn rank_lt(&self, x: u64) -> u64 {
+        // Binary search over get(); O(log n) with O(1) access.
+        let (mut lo, mut hi) = (0u64, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.get(mid) < x {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// True if `x` occurs in the sequence.
+    pub fn contains(&self, x: u64) -> bool {
+        let r = self.rank_lt(x);
+        r < self.len && self.get(r) == x
+    }
+
+    /// Iterator over the encoded values.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Size in bits of the low and high parts plus select overhead.
+    pub fn size_bits(&self) -> u64 {
+        self.low.size_bits() + self.high.size_bits() + 64 * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[u64], universe: u64) {
+        let ef = EliasFano::new(values, universe);
+        assert_eq!(ef.len(), values.len() as u64);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i as u64), v, "index {i}");
+        }
+        let collected: Vec<u64> = ef.iter().collect();
+        assert_eq!(collected, values);
+    }
+
+    #[test]
+    fn empty() {
+        let ef = EliasFano::new(&[], 100);
+        assert!(ef.is_empty());
+        assert_eq!(ef.rank_lt(50), 0);
+        assert!(!ef.contains(3));
+    }
+
+    #[test]
+    fn basic_round_trips() {
+        round_trip(&[0], 0);
+        round_trip(&[0, 0, 0], 10);
+        round_trip(&[2, 3, 5, 7, 11, 13], 16);
+        round_trip(&[0, 1, 2, 3, 4, 5, 6, 7], 7);
+        round_trip(&[1_000_000], 1_000_000);
+        round_trip(&(0..1000).map(|i| i * 37).collect::<Vec<_>>(), 37_000);
+    }
+
+    #[test]
+    fn duplicates_and_jumps() {
+        round_trip(&[5, 5, 5, 5, 100_000, 100_000], 100_000);
+    }
+
+    #[test]
+    fn rank_and_contains() {
+        let vals = [2u64, 3, 5, 7, 7, 11];
+        let ef = EliasFano::new(&vals, 20);
+        assert_eq!(ef.rank_lt(0), 0);
+        assert_eq!(ef.rank_lt(7), 3);
+        assert_eq!(ef.rank_lt(8), 5);
+        assert_eq!(ef.rank_lt(100), 6);
+        assert!(ef.contains(7));
+        assert!(!ef.contains(6));
+    }
+
+    #[test]
+    fn pseudorandom_monotone() {
+        let mut state = 99u64;
+        let mut v = Vec::new();
+        let mut cur = 0u64;
+        for _ in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cur += state >> 56;
+            v.push(cur);
+        }
+        round_trip(&v, cur);
+        let ef = EliasFano::new(&v, cur);
+        // rank_lt agrees with a linear count at sampled points.
+        for &x in &[0, v[10], v[100] + 1, v[2999], cur + 1] {
+            let want = v.iter().filter(|&&y| y < x).count() as u64;
+            assert_eq!(ef.rank_lt(x), want, "rank_lt({x})");
+        }
+    }
+
+    #[test]
+    fn space_is_near_entropy_for_sparse_sets() {
+        // 1000 values in a universe of 1M: EF ≈ n(log2(u/n)+2) ≈ 12 bits/val.
+        let v: Vec<u64> = (0..1000).map(|i| i * 1000).collect();
+        let ef = EliasFano::new(&v, 1_000_000);
+        let bits_per_value = ef.size_bits() as f64 / 1000.0;
+        assert!(
+            bits_per_value < 20.0,
+            "EF should be compact, got {bits_per_value} bits/value"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing() {
+        EliasFano::new(&[3, 2], 10);
+    }
+}

@@ -1,0 +1,73 @@
+//! Succinct data structures for the compressed node directory of Section VI.
+//!
+//! The paper replaces the hash table `H` of its broad-match index with two
+//! compressed binary sequences queried through `rank`/`select`:
+//!
+//! * `B^sig` — a bit array of length `2^s` whose `i`-th bit is set iff some
+//!   data node's `wordhash` has `s`-bit suffix `i`;
+//! * `B^off` — a bit array over the node storage with a 1 at every byte
+//!   offset where a data node starts.
+//!
+//! A lookup computes `offset = select1(B^off, rank1(B^sig, suffix))`
+//! (paper, Fig. 6). This crate provides the machinery:
+//!
+//! * [`BitVec`] — a plain bit vector;
+//! * [`RankSelect`] — rank9-flavored rank (after Vigna, *Broadword
+//!   Implementation of Rank/Select Queries*, the paper's ref.\[23]) with
+//!   sampled select;
+//! * [`EliasFano`] — compressed monotone sequences, the natural encoding for
+//!   `B^off` (node start offsets are strictly increasing) and for sparse
+//!   `B^sig` bitmaps;
+//! * [`CompressedDirectory`] — the assembled `B^sig`/`B^off` replacement for
+//!   `H`, choosing a dense or sparse signature representation by size, with
+//!   full space accounting for the paper's 9:1 compression example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+mod broadword;
+mod directory;
+mod eliasfano;
+mod rankselect;
+
+pub use bitvec::BitVec;
+pub use broadword::select_in_word;
+pub use directory::{
+    pick_suffix_bits_by_model, suffix_tradeoff, CompressedDirectory, DirectorySpace, SigIndex,
+    SuffixTradeoffRow,
+};
+pub use eliasfano::EliasFano;
+pub use rankselect::RankSelect;
+
+/// Zero-order empirical entropy (in bits) of a bit string with `ones` set
+/// bits out of `len`, times `len`: the `n·H₀(B)` term of the paper's space
+/// bound `n·H₀(B) + o(k) + O(log log n)`.
+pub fn zero_order_entropy_bits(len: u64, ones: u64) -> f64 {
+    if len == 0 || ones == 0 || ones == len {
+        return 0.0;
+    }
+    let n = len as f64;
+    let k = ones as f64;
+    let p = k / n;
+    n * (-(p * p.log2()) - (1.0 - p) * (1.0 - p).log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_bounds() {
+        // A balanced bit string needs ~1 bit per position.
+        assert!((zero_order_entropy_bits(1000, 500) - 1000.0).abs() < 1e-6);
+        // Degenerate strings carry no information.
+        assert_eq!(zero_order_entropy_bits(1000, 0), 0.0);
+        assert_eq!(zero_order_entropy_bits(1000, 1000), 0.0);
+        // The paper's upper bound k·log2(n/k) + k·log2(e) holds.
+        let (n, k) = (1u64 << 28, 4_000_000u64);
+        let h = zero_order_entropy_bits(n, k);
+        let bound = k as f64 * ((n as f64 / k as f64).log2() + std::f64::consts::E.log2());
+        assert!(h <= bound, "H0 {} must be below the paper's bound {}", h, bound);
+    }
+}

@@ -1,0 +1,267 @@
+//! Rank/select support over a [`BitVec`], rank9-flavored.
+
+use crate::{select_in_word, BitVec};
+
+/// Bits per rank block (rank9 uses 512-bit basic blocks).
+const BLOCK_BITS: u64 = 512;
+const WORDS_PER_BLOCK: usize = (BLOCK_BITS / 64) as usize;
+/// One select sample per this many set bits.
+const SELECT_SAMPLE: u64 = 512;
+
+/// A static bit vector with O(1) `rank1` and near-O(1) `select1`.
+///
+/// Layout after Vigna's rank9 (the paper's ref.\[23]): one absolute 64-bit
+/// count per 512-bit block plus one packed word of seven 9-bit relative
+/// counts; select uses position samples of every 512th set bit, then jumps
+/// block → word → [`select_in_word`].
+///
+/// # Examples
+///
+/// ```
+/// use broadmatch_succinct::{BitVec, RankSelect};
+///
+/// let bv = BitVec::from_ones(1000, [3u64, 100, 511, 512, 999]);
+/// let rs = RankSelect::new(bv);
+/// assert_eq!(rs.rank1(0), 0);
+/// assert_eq!(rs.rank1(512), 3);       // ones strictly before position 512
+/// assert_eq!(rs.select1(3), Some(512));
+/// assert_eq!(rs.select1(5), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RankSelect {
+    bv: BitVec,
+    /// Absolute rank at the start of each block.
+    block_ranks: Vec<u64>,
+    /// Packed 9-bit cumulative in-block counts for words 1..=7 of each block.
+    block_subranks: Vec<u64>,
+    /// Block index containing every `SELECT_SAMPLE`-th set bit.
+    select_samples: Vec<u32>,
+    ones: u64,
+}
+
+impl RankSelect {
+    /// Index `bv` for rank/select queries.
+    pub fn new(bv: BitVec) -> Self {
+        let words = bv.words();
+        let n_blocks = words.len().div_ceil(WORDS_PER_BLOCK).max(1);
+        let mut block_ranks = Vec::with_capacity(n_blocks + 1);
+        let mut block_subranks = Vec::with_capacity(n_blocks);
+        let mut select_samples = Vec::new();
+
+        let mut total: u64 = 0;
+        for b in 0..n_blocks {
+            block_ranks.push(total);
+            let mut sub: u64 = 0;
+            let mut in_block: u64 = 0;
+            for w in 0..WORDS_PER_BLOCK {
+                let word = words.get(b * WORDS_PER_BLOCK + w).copied().unwrap_or(0);
+                let pop = word.count_ones() as u64;
+                // Any select sample falling inside this word records its block.
+                let before = total + in_block;
+                let first_sample = before.div_ceil(SELECT_SAMPLE) * SELECT_SAMPLE;
+                if pop > 0 && first_sample < before + pop {
+                    let mut s = first_sample;
+                    while s < before + pop {
+                        if select_samples.len() as u64 == s / SELECT_SAMPLE {
+                            select_samples.push(b as u32);
+                        }
+                        s += SELECT_SAMPLE;
+                    }
+                }
+                in_block += pop;
+                if w < WORDS_PER_BLOCK - 1 {
+                    sub |= in_block << (9 * w);
+                }
+            }
+            block_subranks.push(sub);
+            total += in_block;
+        }
+        block_ranks.push(total);
+
+        RankSelect {
+            bv,
+            block_ranks,
+            block_subranks,
+            select_samples,
+            ones: total,
+        }
+    }
+
+    /// The underlying bit vector.
+    pub fn bitvec(&self) -> &BitVec {
+        &self.bv
+    }
+
+    /// Total number of set bits.
+    pub fn ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u64 {
+        self.bv.len()
+    }
+
+    /// True if the underlying bit vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bv.is_empty()
+    }
+
+    /// Read bit `i`.
+    pub fn get(&self, i: u64) -> bool {
+        self.bv.get(i)
+    }
+
+    /// Number of set bits strictly before position `i` (`i` may equal `len`).
+    ///
+    /// # Panics
+    /// Panics if `i > len`.
+    pub fn rank1(&self, i: u64) -> u64 {
+        assert!(i <= self.bv.len(), "rank index {i} out of range");
+        if i == 0 {
+            return 0;
+        }
+        let word_idx = (i / 64) as usize;
+        let block = word_idx / WORDS_PER_BLOCK;
+        let word_in_block = word_idx % WORDS_PER_BLOCK;
+        let mut r = self.block_ranks[block];
+        if word_in_block > 0 {
+            r += (self.block_subranks[block] >> (9 * (word_in_block - 1))) & 0x1FF;
+        }
+        let bit = i % 64;
+        if bit > 0 {
+            let word = self.bv.words().get(word_idx).copied().unwrap_or(0);
+            r += (word & ((1u64 << bit) - 1)).count_ones() as u64;
+        }
+        r
+    }
+
+    /// Number of zero bits strictly before position `i`.
+    pub fn rank0(&self, i: u64) -> u64 {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `j`-th (0-based) set bit, or `None` if `j >= ones`.
+    pub fn select1(&self, j: u64) -> Option<u64> {
+        if j >= self.ones {
+            return None;
+        }
+        // Jump to the sampled block, then walk block ranks forward.
+        let mut block = self
+            .select_samples
+            .get((j / SELECT_SAMPLE) as usize)
+            .copied()
+            .unwrap_or(0) as usize;
+        while self.block_ranks[block + 1] <= j {
+            block += 1;
+        }
+        let mut remaining = j - self.block_ranks[block];
+        // Walk the in-block cumulative counts.
+        let sub = self.block_subranks[block];
+        let mut word_in_block = 0;
+        while word_in_block < WORDS_PER_BLOCK - 1 {
+            let cum = (sub >> (9 * word_in_block)) & 0x1FF;
+            if cum > remaining {
+                break;
+            }
+            word_in_block += 1;
+        }
+        if word_in_block > 0 {
+            remaining -= (sub >> (9 * (word_in_block - 1))) & 0x1FF;
+        }
+        let word_idx = block * WORDS_PER_BLOCK + word_in_block;
+        let word = self.bv.words()[word_idx];
+        Some(word_idx as u64 * 64 + select_in_word(word, remaining as u32) as u64)
+    }
+
+    /// Size of the structure in bits: raw bits plus rank/select overhead.
+    pub fn size_bits(&self) -> u64 {
+        self.bv.size_bits()
+            + self.block_ranks.len() as u64 * 64
+            + self.block_subranks.len() as u64 * 64
+            + self.select_samples.len() as u64 * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(bv: &BitVec) -> (Vec<u64>, Vec<u64>) {
+        // (rank1 at every position 0..=len, positions of ones)
+        let mut ranks = Vec::with_capacity(bv.len() as usize + 1);
+        let mut ones = Vec::new();
+        let mut r = 0u64;
+        for i in 0..bv.len() {
+            ranks.push(r);
+            if bv.get(i) {
+                ones.push(i);
+                r += 1;
+            }
+        }
+        ranks.push(r);
+        (ranks, ones)
+    }
+
+    fn check_exhaustive(bv: BitVec) {
+        let (ranks, ones) = reference(&bv);
+        let rs = RankSelect::new(bv);
+        for (i, &want) in ranks.iter().enumerate() {
+            assert_eq!(rs.rank1(i as u64), want, "rank1({i})");
+        }
+        for (j, &pos) in ones.iter().enumerate() {
+            assert_eq!(rs.select1(j as u64), Some(pos), "select1({j})");
+        }
+        assert_eq!(rs.select1(ones.len() as u64), None);
+        assert_eq!(rs.ones(), ones.len() as u64);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        check_exhaustive(BitVec::new(0));
+        check_exhaustive(BitVec::new(1));
+        check_exhaustive(BitVec::from_ones(1, [0u64]));
+        check_exhaustive(BitVec::from_ones(64, [63u64]));
+        check_exhaustive(BitVec::from_ones(65, [64u64]));
+    }
+
+    #[test]
+    fn block_boundaries() {
+        check_exhaustive(BitVec::from_ones(1025, [0u64, 511, 512, 513, 1023, 1024]));
+        check_exhaustive(BitVec::from_ones(2048, (0..2048).filter(|i| i % 512 == 0)));
+    }
+
+    #[test]
+    fn dense_sparse_alternating() {
+        check_exhaustive(BitVec::from_ones(3000, (0..3000).filter(|i| i % 2 == 0)));
+        check_exhaustive(BitVec::from_ones(3000, (0..3000).filter(|i| i % 97 == 0)));
+        check_exhaustive(BitVec::from_ones(3000, 0..3000));
+    }
+
+    #[test]
+    fn pseudorandom_bits() {
+        let mut state = 12345u64;
+        let mut bv = BitVec::default();
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            bv.push(state >> 60 > 7);
+        }
+        check_exhaustive(bv);
+    }
+
+    #[test]
+    fn rank0_complements_rank1() {
+        let bv = BitVec::from_ones(300, (0..300).filter(|i| i % 7 == 0));
+        let rs = RankSelect::new(bv);
+        for i in 0..=300 {
+            assert_eq!(rs.rank0(i) + rs.rank1(i), i);
+        }
+    }
+
+    #[test]
+    fn rank_beyond_sample_gap() {
+        // More than one select sample worth of ones.
+        let bv = BitVec::from_ones(100_000, (0..100_000).filter(|i| i % 3 == 0));
+        check_exhaustive(bv);
+    }
+}

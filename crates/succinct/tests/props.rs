@@ -1,0 +1,101 @@
+//! Property-based tests: rank/select, Elias–Fano and the compressed
+//! directory agree with naive reference implementations on arbitrary inputs.
+
+use broadmatch_succinct::{BitVec, CompressedDirectory, EliasFano, RankSelect};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rank_select_matches_naive(bits in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let mut bv = BitVec::default();
+        for &b in &bits {
+            bv.push(b);
+        }
+        let rs = RankSelect::new(bv);
+
+        let mut rank = 0u64;
+        let mut ones = Vec::new();
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(rs.rank1(i as u64), rank);
+            if b {
+                ones.push(i as u64);
+                rank += 1;
+            }
+        }
+        prop_assert_eq!(rs.rank1(bits.len() as u64), rank);
+        prop_assert_eq!(rs.ones(), rank);
+        for (j, &pos) in ones.iter().enumerate() {
+            prop_assert_eq!(rs.select1(j as u64), Some(pos));
+        }
+        prop_assert_eq!(rs.select1(ones.len() as u64), None);
+    }
+
+    #[test]
+    fn rank_select_duality(bits in proptest::collection::vec(any::<bool>(), 1..1500)) {
+        let mut bv = BitVec::default();
+        for &b in &bits {
+            bv.push(b);
+        }
+        let rs = RankSelect::new(bv);
+        // select1(j) is the unique i with rank1(i) == j and bit i set.
+        for j in 0..rs.ones() {
+            let i = rs.select1(j).unwrap();
+            prop_assert_eq!(rs.rank1(i), j);
+            prop_assert!(rs.get(i));
+        }
+    }
+
+    #[test]
+    fn elias_fano_round_trip(gaps in proptest::collection::vec(0u64..10_000, 0..500)) {
+        let mut values = Vec::with_capacity(gaps.len());
+        let mut cur = 0u64;
+        for g in gaps {
+            cur += g;
+            values.push(cur);
+        }
+        let universe = cur;
+        let ef = EliasFano::new(&values, universe);
+        prop_assert_eq!(ef.len(), values.len() as u64);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(ef.get(i as u64), v);
+        }
+    }
+
+    #[test]
+    fn elias_fano_rank_lt(
+        gaps in proptest::collection::vec(0u64..1000, 1..300),
+        probes in proptest::collection::vec(0u64..400_000, 1..50),
+    ) {
+        let mut values = Vec::with_capacity(gaps.len());
+        let mut cur = 0u64;
+        for g in gaps {
+            cur += g;
+            values.push(cur);
+        }
+        let ef = EliasFano::new(&values, cur);
+        for x in probes {
+            let want = values.iter().filter(|&&v| v < x).count() as u64;
+            prop_assert_eq!(ef.rank_lt(x), want, "rank_lt({})", x);
+            prop_assert_eq!(ef.contains(x), values.contains(&x));
+        }
+    }
+
+    #[test]
+    fn directory_matches_hashmap(
+        raw in proptest::collection::btree_map(0u64..4096, 1u64..500, 0..200),
+    ) {
+        let nodes: Vec<(u64, u64)> = raw.iter().map(|(&s, &l)| (s, l)).collect();
+        let dir = CompressedDirectory::new(12, &nodes);
+
+        // Reference: prefix sums over the sorted map.
+        let mut cursor = 0u64;
+        let mut reference = std::collections::HashMap::new();
+        for &(s, l) in &nodes {
+            reference.insert(s, (cursor, cursor + l));
+            cursor += l;
+        }
+        for suffix in 0u64..4096 {
+            prop_assert_eq!(dir.lookup(suffix), reference.get(&suffix).copied());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end sponsored search: broad-match retrieval followed by the
+//! secondary filtering and auction ranking the paper describes in its
+//! introduction ("once all matching ads have been retrieved, additional
+//! filters are applied … bid price, keyword-exclusion, … the ads that win
+//! the auction are then ranked and displayed").
+//!
+//! ```text
+//! cargo run --release --example ad_auction
+//! ```
+
+use std::collections::HashSet;
+
+use sponsored_search::broadmatch::{AdInfo, IndexBuilder, MatchHit, MatchType};
+use sponsored_search::corpus::{AdCorpus, CorpusConfig};
+
+/// Post-retrieval campaign metadata that lives outside the index — the kind
+/// of query-independent signal the paper says prevents score-monotone IR
+/// optimizations (Section I-B).
+struct Campaign {
+    exclusion_words: HashSet<String>,
+    daily_budget_micros: u64,
+    spent_micros: u64,
+}
+
+fn main() {
+    // A synthetic corpus with realistic length/popularity distributions.
+    let corpus = AdCorpus::generate(CorpusConfig::small(2024));
+    let mut builder = IndexBuilder::new();
+    for ad in corpus.ads() {
+        builder.add(&ad.phrase, ad.info).expect("valid phrase");
+    }
+    // A few handcrafted ads so the demo query is meaningful.
+    for (phrase, listing, cents) in [
+        ("running shoes", 900_001, 180),
+        ("red running shoes", 900_002, 240),
+        ("shoes", 900_003, 60),
+        ("marathon running gear", 900_004, 150),
+    ] {
+        builder
+            .add(phrase, AdInfo::with_bid(listing, cents))
+            .expect("valid phrase");
+    }
+    let index = builder.build().expect("valid config");
+
+    // Campaign-side state: campaign 0 excludes "cheap" (brand protection),
+    // campaign 1 has exhausted its budget.
+    let campaigns = [
+        Campaign {
+            exclusion_words: ["cheap".to_string()].into_iter().collect(),
+            daily_budget_micros: 50_000_000,
+            spent_micros: 0,
+        },
+        Campaign {
+            exclusion_words: HashSet::new(),
+            daily_budget_micros: 10_000_000,
+            spent_micros: 3_000_000,
+        },
+        Campaign {
+            exclusion_words: HashSet::new(),
+            daily_budget_micros: 5_000_000,
+            spent_micros: 5_000_000, // exhausted
+        },
+    ];
+    let campaign_of = |hit: &MatchHit| (hit.info.listing_id % 3) as usize;
+
+    let query = "buy red running shoes cheap";
+    println!("query: {query:?}\n");
+
+    // Stage 1: broad-match retrieval (the paper's contribution).
+    let mut hits = index.query(query, MatchType::Broad);
+    println!("stage 1 — broad match retrieved {} candidate ads", hits.len());
+
+    // Stage 2: secondary filters.
+    let query_words: HashSet<String> = query.split_whitespace().map(str::to_string).collect();
+    hits.retain(|h| {
+        let c = &campaigns[campaign_of(h)];
+        // Keyword exclusion: drop ads whose campaign excludes a query word.
+        if c.exclusion_words.iter().any(|w| query_words.contains(w)) {
+            return false;
+        }
+        // Budget: drop ads from exhausted campaigns.
+        c.spent_micros < c.daily_budget_micros
+    });
+    println!("stage 2 — {} ads survive exclusion/budget filters", hits.len());
+
+    // Stage 3: auction. Rank by bid; price is generalized second-price.
+    hits.sort_by_key(|h| std::cmp::Reverse(h.info.bid_micros));
+    hits.truncate(4);
+    println!("\nstage 3 — auction results (top {} slots):", hits.len());
+    for (slot, h) in hits.iter().enumerate() {
+        let price = hits
+            .get(slot + 1)
+            .map(|next| next.info.bid_micros)
+            .unwrap_or(h.info.bid_micros / 2);
+        println!(
+            "  slot {} -> listing {:>6}  bid {:>7.2}c  pays {:>7.2}c",
+            slot + 1,
+            h.info.listing_id,
+            h.info.bid_micros as f64 / 10_000.0,
+            price as f64 / 10_000.0,
+        );
+    }
+}

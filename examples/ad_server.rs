@@ -1,0 +1,88 @@
+//! A miniature ad server over stdin: type queries, get ranked ads.
+//!
+//! ```text
+//! cargo run --release --example ad_server            # interactive
+//! echo "cheap used books" | cargo run --release --example ad_server
+//! ```
+//!
+//! Commands: plain text runs a broad-match auction; `:exact <q>` /
+//! `:phrase <q>` switch semantics; `:stats <q>` shows query processing
+//! statistics; `:quit` exits.
+
+use std::io::BufRead;
+
+use sponsored_search::broadmatch::{IndexBuilder, IndexConfig, MatchType, RemapMode};
+use sponsored_search::corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
+
+fn main() {
+    eprintln!("building a 20K-ad synthetic index...");
+    let corpus = AdCorpus::generate(CorpusConfig::benchmark(20_000, 7));
+    let workload = Workload::generate(QueryGenConfig::small(7), &corpus);
+    let mut config = IndexConfig::default();
+    config.remap = RemapMode::Full;
+    let mut builder = IndexBuilder::with_config(config);
+    for ad in corpus.ads() {
+        builder.add(&ad.phrase, ad.info).expect("valid phrase");
+    }
+    builder.set_workload(workload.to_builder_workload());
+    let index = builder.build().expect("valid config");
+    let stats = index.stats();
+    eprintln!(
+        "ready: {} ads, {} word sets, {} nodes, {} KiB arena + {} KiB directory",
+        stats.ads,
+        stats.groups,
+        stats.nodes,
+        stats.arena_bytes / 1024,
+        stats.directory_bytes / 1024
+    );
+    eprintln!("example corpus words look like: {:?}", &corpus.wordset_phrases()[..3]);
+    eprintln!("type a query (or :exact/:phrase/:stats/:quit):");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (mt, query, show_stats) = if let Some(rest) = line.strip_prefix(":exact ") {
+            (MatchType::Exact, rest, false)
+        } else if let Some(rest) = line.strip_prefix(":phrase ") {
+            (MatchType::Phrase, rest, false)
+        } else if let Some(rest) = line.strip_prefix(":stats ") {
+            (MatchType::Broad, rest, true)
+        } else if line == ":quit" {
+            break;
+        } else {
+            (MatchType::Broad, line, false)
+        };
+
+        let start = std::time::Instant::now();
+        let (mut hits, qstats) = index.query_with_stats(query, mt);
+        let elapsed = start.elapsed();
+        hits.sort_by_key(|h| std::cmp::Reverse(h.info.bid_micros));
+        hits.truncate(5);
+
+        println!(
+            "{} match(es) in {:.1} us{}",
+            qstats.hits,
+            elapsed.as_secs_f64() * 1e6,
+            if qstats.truncated { " (probe cap hit)" } else { "" },
+        );
+        for (slot, h) in hits.iter().enumerate() {
+            println!(
+                "  {}. listing {:>6}  campaign {:>5}  bid {:>7.2}c",
+                slot + 1,
+                h.info.listing_id,
+                h.info.campaign_id,
+                h.info.bid_micros as f64 / 10_000.0
+            );
+        }
+        if show_stats {
+            println!(
+                "  probes {}  hits {}  nodes visited {}",
+                qstats.probes, qstats.probe_hits, qstats.nodes_visited
+            );
+        }
+    }
+}

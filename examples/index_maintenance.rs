@@ -1,0 +1,56 @@
+//! Online maintenance (Section VI): inserts via the local heuristic,
+//! deletes via broad-match probing, periodic re-optimization.
+//!
+//! ```text
+//! cargo run --example index_maintenance
+//! ```
+
+use sponsored_search::broadmatch::{AdInfo, IndexBuilder, MaintainedIndex, MatchType};
+
+fn main() {
+    let mut builder = IndexBuilder::new();
+    builder.add("used books", AdInfo::with_bid(1, 100)).unwrap();
+    builder.add("cheap used books", AdInfo::with_bid(2, 80)).unwrap();
+    let index = MaintainedIndex::new(builder.build().unwrap()).unwrap();
+    println!("initial: {} ads", index.len());
+
+    // A day of campaign churn: advertisers add and retire bids online.
+    for i in 0..500u64 {
+        index
+            .insert(
+                &format!("brand{} product{}", i % 40, i % 97),
+                AdInfo::with_bid(1000 + i, 30 + (i % 50) as u32),
+            )
+            .expect("valid phrase");
+    }
+    for i in 0..120u64 {
+        index.remove(&format!("brand{} product{}", i % 40, i % 97), 1000 + i);
+    }
+    println!(
+        "after churn: {} ads, {} dead bytes awaiting compaction",
+        index.len(),
+        index.dead_bytes()
+    );
+
+    let hits = index.query("brand3 product55 on sale", MatchType::Broad);
+    println!("query 'brand3 product55 on sale' -> {} hits", hits.len());
+
+    // Deletions are more expensive than inserts — the paper: "we cannot
+    // identify the correct data node to delete from without processing the
+    // equivalent of a broad-match query" — but rare in practice.
+
+    // Periodic re-optimization recomputes the mapping offline and compacts.
+    index
+        .reoptimize(Some(vec![
+            ("cheap used books".to_string(), 1000),
+            ("brand3 product55".to_string(), 400),
+        ]))
+        .expect("rebuild");
+    println!(
+        "after reoptimize: {} ads, {} dead bytes",
+        index.len(),
+        index.dead_bytes()
+    );
+    let hits = index.query("cheap used books", MatchType::Broad);
+    println!("query 'cheap used books' -> {} hits (unchanged results)", hits.len());
+}

@@ -1,0 +1,60 @@
+//! Quickstart: index a handful of bids and run all three match types.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sponsored_search::broadmatch::{AdInfo, IndexBuilder, MatchType};
+
+fn main() {
+    // Index a small campaign. Each bid phrase carries its metadata; the
+    // builder tokenizes, folds duplicate words, and groups by word set.
+    let mut builder = IndexBuilder::new();
+    for (phrase, listing, cents) in [
+        ("used books", 1, 120),
+        ("cheap used books", 2, 95),
+        ("comic books", 3, 200),
+        ("rare first edition books", 4, 310),
+        ("talk talk", 5, 150), // the band — duplicate words carry meaning
+        ("books", 6, 45),
+    ] {
+        builder
+            .add(phrase, AdInfo::with_bid(listing, cents))
+            .expect("valid phrase");
+    }
+    let index = builder.build().expect("valid config");
+
+    let stats = index.stats();
+    println!(
+        "indexed {} ads across {} word sets in {} data nodes ({} bytes)\n",
+        stats.ads, stats.groups, stats.nodes, stats.arena_bytes
+    );
+
+    // Broad match: every bid whose words ALL appear in the query. This is
+    // the reverse of document retrieval — the query must contain the bid.
+    for query in [
+        "cheap used books online",
+        "books",
+        "talk",      // does NOT match "talk talk"
+        "talk talk", // does
+    ] {
+        let hits = index.query(query, MatchType::Broad);
+        let mut listings: Vec<u64> = hits.iter().map(|h| h.info.listing_id).collect();
+        listings.sort_unstable();
+        println!("broad  {query:?} -> listings {listings:?}");
+    }
+
+    // Exact match needs the same words in the same order; phrase match
+    // needs the bid to appear contiguously inside the query.
+    println!();
+    for (query, mt, label) in [
+        ("used books", MatchType::Exact, "exact "),
+        ("books used", MatchType::Exact, "exact "),
+        ("buy used books today", MatchType::Phrase, "phrase"),
+        ("used comic books", MatchType::Phrase, "phrase"),
+    ] {
+        let hits = index.query(query, mt);
+        let listings: Vec<u64> = hits.iter().map(|h| h.info.listing_id).collect();
+        println!("{label} {query:?} -> listings {listings:?}");
+    }
+}

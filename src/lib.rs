@@ -1,0 +1,32 @@
+//! # sponsored-search
+//!
+//! Facade crate for the workspace reproducing *"A Data Structure for
+//! Sponsored Search"* (A. C. König, K. Church, M. Markov — ICDE 2009).
+//!
+//! The paper's contribution — a hash-based word-set index for **broad-match**
+//! ad retrieval with cost-model-driven node re-mapping — lives in
+//! [`broadmatch`]. The remaining crates are the substrates the evaluation
+//! depends on:
+//!
+//! * [`corpus`] — synthetic ad corpora and query workloads calibrated to the
+//!   distributions the paper publishes (Figs. 1–3, 7);
+//! * [`invidx`] — the two inverted-index baselines of Sections I-C / VII-A;
+//! * [`memcost`] — the `(Cost_Random, Cost_Scan)` memory cost model, byte
+//!   accounting, and a cache/TLB/branch simulator replacing VTune counters;
+//! * [`setcover`] — weighted set cover solvers used by the re-mapping
+//!   optimizer (Section V);
+//! * [`succinct`] — rank/select bit vectors, Elias–Fano, and the compressed
+//!   node directory of Section VI;
+//! * [`netsim`] — the discrete-event multi-server simulation of Section
+//!   VII-B.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use broadmatch;
+pub use broadmatch_corpus as corpus;
+pub use broadmatch_invidx as invidx;
+pub use broadmatch_memcost as memcost;
+pub use broadmatch_netsim as netsim;
+pub use broadmatch_setcover as setcover;
+pub use broadmatch_succinct as succinct;

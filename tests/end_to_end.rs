@@ -1,0 +1,160 @@
+//! End-to-end pipeline tests: synthetic corpus → index → workload →
+//! queries → compression → simulation, spanning every crate.
+
+use sponsored_search::broadmatch::{
+    AdInfo, DirectoryKind, IndexBuilder, IndexConfig, MatchType, RemapMode,
+};
+use sponsored_search::corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
+use sponsored_search::invidx::UnmodifiedInvertedIndex;
+use sponsored_search::memcost::{CountingTracker, HwSimTracker};
+use sponsored_search::netsim::{run_simulation, ServiceDist, TwoServerConfig};
+
+fn generated_scenario(seed: u64) -> (AdCorpus, Workload, Vec<(String, AdInfo)>) {
+    let corpus = AdCorpus::generate(CorpusConfig::small(seed));
+    let workload = Workload::generate(QueryGenConfig::small(seed), &corpus);
+    let ads = corpus
+        .ads()
+        .iter()
+        .map(|a| (a.phrase.clone(), a.info))
+        .collect();
+    (corpus, workload, ads)
+}
+
+#[test]
+fn full_pipeline_generated_corpus_to_queries() {
+    let (_corpus, workload, ads) = generated_scenario(1);
+
+    let mut config = IndexConfig::default();
+    config.remap = RemapMode::Full;
+    let mut builder = IndexBuilder::with_config(config);
+    for (phrase, info) in &ads {
+        builder.add(phrase, *info).expect("valid phrase");
+    }
+    builder.set_workload(workload.to_builder_workload());
+    let index = builder.build().expect("valid config");
+    let baseline = UnmodifiedInvertedIndex::build(&ads).expect("valid");
+
+    let stats = index.stats();
+    assert_eq!(stats.ads, ads.len());
+    assert!(stats.nodes <= stats.groups);
+
+    let mut matched_queries = 0usize;
+    for q in workload.sample_trace(3_000, 2) {
+        let mut a: Vec<u64> = index
+            .query(q, MatchType::Broad)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        let mut b: Vec<u64> = baseline
+            .query_broad(q)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "structures disagree on {q:?}");
+        if !a.is_empty() {
+            matched_queries += 1;
+        }
+    }
+    assert!(matched_queries > 500, "workload should produce matches");
+}
+
+#[test]
+fn compressed_variants_preserve_results_and_save_space() {
+    let (_, workload, ads) = generated_scenario(3);
+
+    let build = |directory, compress| {
+        let mut config = IndexConfig::default();
+        config.directory = directory;
+        config.compress_nodes = compress;
+        let mut builder = IndexBuilder::with_config(config);
+        for (phrase, info) in &ads {
+            builder.add(phrase, *info).expect("valid");
+        }
+        builder.build().expect("valid")
+    };
+    let plain = build(DirectoryKind::HashTable, false);
+    let compact = build(DirectoryKind::Succinct, true);
+
+    // Identical results.
+    for q in workload.sample_trace(1_000, 4) {
+        let mut a: Vec<u64> = plain
+            .query(q, MatchType::Broad)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        let mut b: Vec<u64> = compact
+            .query(q, MatchType::Broad)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "compression changed results for {q:?}");
+    }
+
+    // Smaller everything.
+    let ps = plain.stats();
+    let cs = compact.stats();
+    assert!(cs.arena_bytes < ps.arena_bytes, "{} vs {}", cs.arena_bytes, ps.arena_bytes);
+    assert!(
+        cs.directory_bytes < ps.directory_bytes,
+        "{} vs {}",
+        cs.directory_bytes,
+        ps.directory_bytes
+    );
+}
+
+#[test]
+fn trackers_compose_across_the_pipeline() {
+    let (_, workload, ads) = generated_scenario(5);
+    let mut builder = IndexBuilder::new();
+    for (phrase, info) in &ads {
+        builder.add(phrase, *info).expect("valid");
+    }
+    let index = builder.build().expect("valid");
+
+    let trace = workload.sample_trace(500, 6);
+    let mut counting = CountingTracker::new();
+    let mut hw = HwSimTracker::default();
+    for q in &trace {
+        index.query_tracked(q, MatchType::Broad, &mut counting);
+        index.query_tracked(q, MatchType::Broad, &mut hw);
+    }
+    assert!(counting.random_accesses > 0);
+    assert!(counting.bytes_total() > 0);
+    let counters = hw.counters();
+    assert!(counters.accesses > 0);
+    assert!(counters.dtlb_misses > 0);
+
+    // Feed measured-shape service times into the network simulation.
+    let per_query_ms =
+        counting.modeled_cost(&sponsored_search::memcost::CostModel::dram()) / trace.len() as f64
+            / 1e6;
+    let cfg = TwoServerConfig::paper_like(
+        ServiceDist::constant(0.1 + per_query_ms),
+        ServiceDist::constant(0.35),
+        9,
+    );
+    let report = run_simulation(&cfg, 500.0, 5_000);
+    assert_eq!(report.completed, 5_000);
+    assert!(report.throughput_qps > 400.0);
+}
+
+#[test]
+fn statistics_pipeline_matches_paper_distributions() {
+    use sponsored_search::broadmatch::CorpusStats;
+    let corpus = AdCorpus::generate(CorpusConfig {
+        n_ads: 30_000,
+        distinct_wordsets: 12_000,
+        vocab_size: 3_000,
+        ..CorpusConfig::small(8)
+    });
+    let stats = CorpusStats::from_phrases(corpus.phrases());
+    // Fig. 1 quantiles.
+    assert!((stats.fraction_with_at_most(3) - 0.62).abs() < 0.08);
+    assert!(stats.fraction_with_at_most(8) > 0.99);
+    // Fig. 7 skew gap.
+    assert!(stats.keyword_frequencies[0] > 3 * stats.wordset_frequencies[0]);
+}

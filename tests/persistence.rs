@@ -1,0 +1,95 @@
+//! Persistence across the full pipeline: generated corpora, every directory
+//! kind and codec, and behavioral equivalence after reload.
+
+use sponsored_search::broadmatch::{
+    AdInfo, BroadMatchIndex, DirectoryKind, IndexBuilder, IndexConfig, MatchType, RemapMode,
+};
+use sponsored_search::corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
+
+fn build(corpus: &AdCorpus, directory: DirectoryKind, compress: bool) -> BroadMatchIndex {
+    let mut config = IndexConfig::default();
+    config.directory = directory;
+    config.compress_nodes = compress;
+    config.remap = RemapMode::Full;
+    let mut builder = IndexBuilder::with_config(config);
+    for ad in corpus.ads() {
+        builder.add(&ad.phrase, ad.info).expect("valid phrase");
+    }
+    builder.build().expect("valid config")
+}
+
+#[test]
+fn generated_corpus_round_trips_through_every_configuration() {
+    let corpus = AdCorpus::generate(CorpusConfig::small(31));
+    let workload = Workload::generate(QueryGenConfig::small(31), &corpus);
+    for directory in [
+        DirectoryKind::HashTable,
+        DirectoryKind::Succinct,
+        DirectoryKind::SortedArray,
+    ] {
+        for compress in [false, true] {
+            let index = build(&corpus, directory, compress);
+            let mut buf = Vec::new();
+            index.save(&mut buf).expect("serialize");
+            let loaded = BroadMatchIndex::load(&mut buf.as_slice()).expect("load");
+            assert_eq!(index.stats(), loaded.stats(), "{directory:?}/{compress}");
+
+            for q in workload.sample_trace(500, 7) {
+                for mt in [MatchType::Broad, MatchType::Exact, MatchType::Phrase] {
+                    let mut a: Vec<u64> = index
+                        .query(q, mt)
+                        .iter()
+                        .map(|h| h.info.listing_id)
+                        .collect();
+                    let mut b: Vec<u64> = loaded
+                        .query(q, mt)
+                        .iter()
+                        .map(|h| h.info.listing_id)
+                        .collect();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "{directory:?}/{compress} query {q:?} ({mt:?})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn save_load_save_is_byte_stable() {
+    let corpus = AdCorpus::generate(CorpusConfig::small(37));
+    let index = build(&corpus, DirectoryKind::HashTable, true);
+    let mut first = Vec::new();
+    index.save(&mut first).expect("serialize");
+    let loaded = BroadMatchIndex::load(&mut first.as_slice()).expect("load");
+    let mut second = Vec::new();
+    loaded.save(&mut second).expect("serialize again");
+    assert_eq!(first, second, "serialization must be deterministic");
+}
+
+#[test]
+fn every_flipped_byte_is_detected_or_harmless() {
+    // Flip one byte at a sample of positions; the loader must either error
+    // out or (for the length-prefix bytes that still parse) fail the final
+    // checksum — silent corruption is the only unacceptable outcome.
+    let mut b = IndexBuilder::new();
+    for i in 0..50u32 {
+        b.add(&format!("word{} extra{}", i % 7, i), AdInfo::with_bid(i as u64, 5))
+            .unwrap();
+    }
+    let index = b.build().unwrap();
+    let mut buf = Vec::new();
+    index.save(&mut buf).unwrap();
+
+    let mut detected = 0;
+    let positions: Vec<usize> = (8..buf.len()).step_by(13).collect();
+    for &pos in &positions {
+        let mut corrupt = buf.clone();
+        corrupt[pos] ^= 0x5A;
+        match BroadMatchIndex::load(&mut corrupt.as_slice()) {
+            Err(_) => detected += 1,
+            Ok(_) => panic!("byte flip at {pos} loaded silently"),
+        }
+    }
+    assert_eq!(detected, positions.len());
+}
