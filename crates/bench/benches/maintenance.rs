@@ -30,7 +30,10 @@ fn bench_maintenance(c: &mut Criterion) {
         b.iter_batched(
             || {
                 n += 1;
-                (format!("fresh brand{} item{}", n % 97, n), AdInfo::with_bid(n, 25))
+                (
+                    format!("fresh brand{} item{}", n % 97, n),
+                    AdInfo::with_bid(n, 25),
+                )
             },
             |(phrase, info)| index.insert(&phrase, info).expect("valid"),
             BatchSize::SmallInput,

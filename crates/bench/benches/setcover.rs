@@ -20,7 +20,9 @@ fn instance(universe: u32, n_sets: usize, seed: u64) -> Vec<CandidateSet> {
         .collect();
     for i in 0..n_sets {
         let size = 2 + (rng() % 3) as usize;
-        let elements: Vec<u32> = (0..size).map(|_| (rng() % universe as u64) as u32).collect();
+        let elements: Vec<u32> = (0..size)
+            .map(|_| (rng() % universe as u64) as u32)
+            .collect();
         candidates.push(CandidateSet::new(
             elements,
             0.6 + (rng() % 100) as f64 / 25.0,

@@ -26,16 +26,16 @@ fn bench_subsets(c: &mut Criterion) {
 
 fn bench_wordhash(c: &mut Criterion) {
     let ids: Vec<WordId> = vec![WordId(3), WordId(71), WordId(902), WordId(7711)];
-    c.bench_function("wordhash_4_words", |b| b.iter(|| wordhash(std::hint::black_box(&ids))));
+    c.bench_function("wordhash_4_words", |b| {
+        b.iter(|| wordhash(std::hint::black_box(&ids)))
+    });
 }
 
 fn bench_directories(c: &mut Criterion) {
     // A realistic directory population: 100K nodes.
     let n = 100_000u64;
     let suffix_bits = 21;
-    let nodes: Vec<(u64, u64)> = (0..n)
-        .map(|i| (i * ((1 << suffix_bits) / n), 40))
-        .collect();
+    let nodes: Vec<(u64, u64)> = (0..n).map(|i| (i * ((1 << suffix_bits) / n), 40)).collect();
     let dir = CompressedDirectory::new(suffix_bits, &nodes);
     let mut group = c.benchmark_group("directory_lookup");
     let mut i = 0u64;
@@ -108,5 +108,11 @@ fn bench_rank_select(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_subsets, bench_wordhash, bench_directories, bench_rank_select);
+criterion_group!(
+    benches,
+    bench_subsets,
+    bench_wordhash,
+    bench_directories,
+    bench_rank_select
+);
 criterion_main!(benches);

@@ -19,6 +19,7 @@ experiment ids:
   fig8             bytes read vs corpus size             (Fig. 8)
   modified-bytes   modified-index data volume            (Sec. VII-A)
   multiserver      two-server deployment + latency dist  (Sec. VII-B, Fig. 9)
+  serve-throughput serving-runtime shard/worker sweep + netsim calibration
   fig10            re-mapping variants                   (Fig. 10)
   counters         simulated hardware counters           (Sec. VII-C)
   compression      node + directory compression          (Sec. VI)
@@ -47,13 +48,10 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("{USAGE}");
-                        std::process::exit(2);
-                    });
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -77,6 +75,7 @@ fn main() {
             "fig8",
             "modified-bytes",
             "multiserver",
+            "serve-throughput",
             "fig10",
             "counters",
             "compression",
@@ -117,6 +116,9 @@ fn main() {
             }
             "multiserver" => {
                 multiserver::run(scale, seed);
+            }
+            "serve-throughput" => {
+                serve_throughput::run(scale, seed);
             }
             "fig10" => {
                 remap::fig10(scale, seed);

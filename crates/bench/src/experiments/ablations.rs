@@ -31,10 +31,12 @@ pub fn max_words_sweep(scale: Scale, seed: u64) -> Vec<MaxWordsRow> {
     let mut rows = Vec::new();
     let mut t = Table::new(&["max_words", "probes/query", "nodes", "time_s"]);
     for max_words in [2usize, 3, 4, 6, 8, 10] {
-        let mut config = IndexConfig::default();
-        config.remap = RemapMode::LongOnly;
-        config.max_words = max_words;
-        config.probe_cap = 1 << 16;
+        let config = IndexConfig {
+            remap: RemapMode::LongOnly,
+            max_words,
+            probe_cap: 1 << 16,
+            ..IndexConfig::default()
+        };
         let index = scenario.build_index(config);
 
         let mut tracker = CountingTracker::new();
@@ -97,15 +99,21 @@ pub fn setcover_quality(trials: usize, seed: u64) -> (f64, f64) {
         }
         for i in 0..(6 + (rng() % 10) as usize) {
             let size = 2 + (rng() % 4) as usize;
-            let elements: Vec<u32> = (0..size).map(|_| (rng() % universe as u64) as u32).collect();
+            let elements: Vec<u32> = (0..size)
+                .map(|_| (rng() % universe as u64) as u32)
+                .collect();
             candidates.push(CandidateSet::new(
                 elements,
                 0.5 + (rng() % 100) as f64 / 15.0,
                 100 + i as u64,
             ));
         }
-        let opt = exact_cover(universe, &candidates).expect("coverable").total_weight;
-        let g = greedy_cover(universe, &candidates).expect("coverable").total_weight;
+        let opt = exact_cover(universe, &candidates)
+            .expect("coverable")
+            .total_weight;
+        let g = greedy_cover(universe, &candidates)
+            .expect("coverable")
+            .total_weight;
         let w = with_withdrawals(universe, &candidates, 5)
             .expect("coverable")
             .total_weight;
@@ -117,7 +125,11 @@ pub fn setcover_quality(trials: usize, seed: u64) -> (f64, f64) {
     let g_avg = greedy_ratio_sum / trials as f64;
     let w_avg = withdraw_ratio_sum / trials as f64;
     let mut t = Table::new(&["solver", "avg ratio to optimum", "worst observed"]);
-    t.row_owned(vec!["greedy".into(), format!("{g_avg:.4}"), format!("{greedy_worst:.4}")]);
+    t.row_owned(vec![
+        "greedy".into(),
+        format!("{g_avg:.4}"),
+        format!("{greedy_worst:.4}"),
+    ]);
     t.row_owned(vec![
         "greedy + withdrawals".into(),
         format!("{w_avg:.4}"),
@@ -136,12 +148,14 @@ pub fn cost_model_sweep(scale: Scale, seed: u64) -> Vec<(f64, usize)> {
     let mut out = Vec::new();
     let mut t = Table::new(&["scan_byte", "break_even_bytes", "nodes", "remapped_groups"]);
     for scan_byte in [0.01, 0.1, 0.25, 1.0, 4.0] {
-        let mut config = IndexConfig::default();
-        config.remap = RemapMode::Full;
-        config.cost = CostModel {
-            cost_random: 100.0,
-            scan_base: 0.0,
-            scan_byte,
+        let config = IndexConfig {
+            remap: RemapMode::Full,
+            cost: CostModel {
+                cost_random: 100.0,
+                scan_base: 0.0,
+                scan_byte,
+            },
+            ..IndexConfig::default()
         };
         let index = scenario.build_index(config);
         let stats = index.mapping_stats();
@@ -175,14 +189,20 @@ mod tests {
             last.probes_per_query,
             first.probes_per_query
         );
-        assert!(last.nodes >= first.nodes, "bigger max_words means more (or equal) nodes");
+        assert!(
+            last.nodes >= first.nodes,
+            "bigger max_words means more (or equal) nodes"
+        );
     }
 
     #[test]
     fn withdrawals_never_hurt_quality() {
         let (g, w) = setcover_quality(150, 77);
         assert!(w <= g + 1e-9, "withdrawals avg {w} vs greedy {g}");
-        assert!(g < broadmatch_setcover::harmonic(5), "greedy within H_k on average");
+        assert!(
+            g < broadmatch_setcover::harmonic(5),
+            "greedy within H_k on average"
+        );
     }
 
     #[test]

@@ -23,15 +23,19 @@ pub fn run(scale: Scale, seed: u64) -> CompressionOutcome {
     println!("== §VI: compression of nodes and directory ==");
     let scenario = Scenario::build(scale, seed);
 
-    let mut config = IndexConfig::default();
-    config.remap = RemapMode::LongOnly;
-    config.directory = DirectoryKind::Succinct;
-    config.compress_nodes = true;
+    let config = IndexConfig {
+        remap: RemapMode::LongOnly,
+        directory: DirectoryKind::Succinct,
+        compress_nodes: true,
+        ..IndexConfig::default()
+    };
     let index = scenario.build_index(config);
 
     // Correctness survives both compressions.
-    let mut plain_cfg = IndexConfig::default();
-    plain_cfg.remap = RemapMode::LongOnly;
+    let plain_cfg = IndexConfig {
+        remap: RemapMode::LongOnly,
+        ..IndexConfig::default()
+    };
     let plain_index = scenario.build_index(plain_cfg);
     for q in scenario.trace(seed ^ 4).iter().take(300) {
         let mut a: Vec<u64> = index
@@ -111,7 +115,11 @@ mod tests {
     fn both_compressions_save_space() {
         let o = run(Scale::Small, 61);
         assert!(o.node_ratio > 1.3, "node ratio {}", o.node_ratio);
-        assert!(o.directory_ratio > 2.0, "directory ratio {}", o.directory_ratio);
+        assert!(
+            o.directory_ratio > 2.0,
+            "directory ratio {}",
+            o.directory_ratio
+        );
     }
 
     #[test]

@@ -33,19 +33,23 @@ pub fn run(scale: Scale, seed: u64) -> CounterComparison {
     let trace = scenario.workload.sample_trace(trace_len, seed ^ 3);
 
     let measure = |mode: RemapMode| -> (HwCounters, u64) {
-        let mut config = IndexConfig::default();
-        config.remap = mode;
-        config.max_words = 5;
-        config.probe_cap = 1 << 16;
+        let config = IndexConfig {
+            remap: mode,
+            max_words: 5,
+            probe_cap: 1 << 16,
+            ..IndexConfig::default()
+        };
         let index = scenario.build_index(config);
         // A 512 KiB L2 keeps the simulated cache under pressure at the
         // laptop-scale corpora these experiments run on (the paper's 180M-ad
         // structure dwarfed its 4 MiB L2 the same way).
-        let mut hw_config = HwSimConfig::default();
-        hw_config.l2 = CacheConfig {
-            size_bytes: 512 * 1024,
-            line_bytes: 64,
-            associativity: 16,
+        let hw_config = HwSimConfig {
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                line_bytes: 64,
+                associativity: 16,
+            },
+            ..HwSimConfig::default()
         };
         let mut hw = HwSimTracker::new(hw_config);
         for q in &trace {
@@ -75,7 +79,11 @@ pub fn run(scale: Scale, seed: u64) -> CounterComparison {
             remapped.branch_mispredictions,
             unmapped.branch_mispredictions,
         ),
-        ("branch mispredictions (node scan)", remapped_scan, unmapped_scan),
+        (
+            "branch mispredictions (node scan)",
+            remapped_scan,
+            unmapped_scan,
+        ),
     ];
     for (name, re, un) in rows {
         t.row_owned(vec![
@@ -92,7 +100,10 @@ pub fn run(scale: Scale, seed: u64) -> CounterComparison {
             fi(remapped_scan as f64)
         )
     } else {
-        format!("+{}%", f2(HwCounters::pct_change(unmapped_scan, remapped_scan)))
+        format!(
+            "+{}%",
+            f2(HwCounters::pct_change(unmapped_scan, remapped_scan))
+        )
     };
     println!(
         "paper: without re-mapping, page walks +40%+, DTLB misses +12%, more cache misses;\n       \

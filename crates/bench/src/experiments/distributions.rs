@@ -9,7 +9,10 @@ use crate::Scale;
 /// Fig. 1 — "Bids are short": phrase-length histogram with the paper's
 /// quantile checkpoints (62% ≤ 3 words, 96% ≤ 5, 99.8% ≤ 8).
 pub fn fig1(scale: Scale, seed: u64) -> CorpusStats {
-    println!("== Fig. 1: bid phrase lengths (corpus of {} ads) ==", fi(scale.n_ads() as f64));
+    println!(
+        "== Fig. 1: bid phrase lengths (corpus of {} ads) ==",
+        fi(scale.n_ads() as f64)
+    );
     let corpus = AdCorpus::generate(CorpusConfig::benchmark(scale.n_ads(), seed));
     let stats = CorpusStats::from_phrases(corpus.phrases());
     let mut t = Table::new(&["words", "phrases", "fraction", "cumulative"]);
@@ -63,8 +66,7 @@ pub fn fig3(scale: Scale, seed: u64) -> (CorpusStats, CorpusStats) {
     let corpus = AdCorpus::generate(CorpusConfig::benchmark(scale.n_ads() / 4, seed));
     let bid_stats = CorpusStats::from_phrases(corpus.phrases());
     let mt_phrases = MtPhraseGenerator::new(50_000, seed).generate(scale.n_ads() / 4);
-    let mt_stats =
-        CorpusStats::from_phrases(mt_phrases.iter().map(|s| s.as_str()));
+    let mt_stats = CorpusStats::from_phrases(mt_phrases.iter().map(|s| s.as_str()));
 
     let mut t = Table::new(&["words", "bid_fraction", "mt_fraction"]);
     let max_len = bid_stats

@@ -40,9 +40,11 @@ pub fn directory_kinds(scale: Scale, seed: u64) -> Vec<DirectoryRow> {
     let mut reference_hits: Option<usize> = None;
     let mut t = Table::new(&["directory", "bytes", "accesses/query", "time_s"]);
     for (name, kind) in kinds {
-        let mut config = IndexConfig::default();
-        config.directory = kind;
-        config.remap = RemapMode::LongOnly;
+        let config = IndexConfig {
+            directory: kind,
+            remap: RemapMode::LongOnly,
+            ..IndexConfig::default()
+        };
         let index = scenario.build_index(config);
 
         let mut tracker = CountingTracker::new();
@@ -108,10 +110,12 @@ pub fn probe_cap_sweep(scale: Scale, seed: u64) -> Vec<ProbeCapRow> {
 
     // Ground truth with an effectively unlimited cap.
     let build = |probe_cap: usize| {
-        let mut config = IndexConfig::default();
-        config.remap = RemapMode::LongOnly;
-        config.max_words = 8;
-        config.probe_cap = probe_cap;
+        let config = IndexConfig {
+            remap: RemapMode::LongOnly,
+            max_words: 8,
+            probe_cap,
+            ..IndexConfig::default()
+        };
         let mut builder = broadmatch::IndexBuilder::with_config(config);
         for (p, i) in &scenario.ads {
             builder.add(p, *i).expect("valid");
@@ -132,9 +136,7 @@ pub fn probe_cap_sweep(scale: Scale, seed: u64) -> Vec<ProbeCapRow> {
         let mut tracker = CountingTracker::new();
         let mut found = 0usize;
         for q in &trace {
-            found += index
-                .query_tracked(q, MatchType::Broad, &mut tracker)
-                .len();
+            found += index.query_tracked(q, MatchType::Broad, &mut tracker).len();
         }
         let row = ProbeCapRow {
             probe_cap: cap,
@@ -161,8 +163,10 @@ pub fn probe_cap_sweep(scale: Scale, seed: u64) -> Vec<ProbeCapRow> {
 pub fn suffix_sweep(scale: Scale, seed: u64) -> Vec<broadmatch_succinct::SuffixTradeoffRow> {
     println!("== Extension: selecting the suffix size s (SVI trade-off) ==");
     let scenario = Scenario::build(scale, seed);
-    let mut config = IndexConfig::default();
-    config.remap = RemapMode::LongOnly;
+    let config = IndexConfig {
+        remap: RemapMode::LongOnly,
+        ..IndexConfig::default()
+    };
     let index = scenario.build_index(config);
     let stats = index.stats();
     let avg_node_bytes = (stats.arena_bytes / stats.nodes.max(1)).max(1) as u64;
@@ -199,8 +203,10 @@ pub fn suffix_sweep(scale: Scale, seed: u64) -> Vec<broadmatch_succinct::SuffixT
 pub fn parallel_scaling(scale: Scale, seed: u64) -> Vec<(usize, f64)> {
     println!("== Extension: multi-threaded query throughput ==");
     let scenario = Scenario::build(scale, seed);
-    let mut config = IndexConfig::default();
-    config.remap = RemapMode::LongOnly;
+    let config = IndexConfig {
+        remap: RemapMode::LongOnly,
+        ..IndexConfig::default()
+    };
     let index = scenario.build_index(config);
     let trace: Vec<&str> = scenario.workload.sample_trace(
         match scale {
@@ -220,9 +226,9 @@ pub fn parallel_scaling(scale: Scale, seed: u64) -> Vec<(usize, f64)> {
     for threads in thread_counts {
         let index_ref = &index;
         let (_, seconds) = time(|| {
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 for chunk in trace.chunks(trace.len().div_ceil(threads)) {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut hits = 0usize;
                         for q in chunk {
                             hits += index_ref.query(q, MatchType::Broad).len();
@@ -230,8 +236,7 @@ pub fn parallel_scaling(scale: Scale, seed: u64) -> Vec<(usize, f64)> {
                         std::hint::black_box(hits);
                     });
                 }
-            })
-            .expect("threads join");
+            });
         });
         let qps = trace.len() as f64 / seconds;
         if base_qps == 0.0 {
@@ -265,7 +270,12 @@ mod tests {
             sorted.accesses_per_query,
             hash.accesses_per_query
         );
-        assert!(succinct.bytes < hash.bytes / 2, "succinct {} vs hash {}", succinct.bytes, hash.bytes);
+        assert!(
+            succinct.bytes < hash.bytes / 2,
+            "succinct {} vs hash {}",
+            succinct.bytes,
+            hash.bytes
+        );
         assert!(sorted.bytes <= hash.bytes);
     }
 

@@ -10,6 +10,7 @@
 //! | `fig8` | Fig. 8 bytes-read ratio vs corpus size | [`bytes::fig8`] |
 //! | `modified-bytes` | §VII-A modified-index data volume | [`bytes::modified_bytes`] |
 //! | `multiserver` | §VII-B + Fig. 9 | [`multiserver::run`] |
+//! | `serve-throughput` | serving-runtime shard×worker sweep + netsim calibration | [`serve_throughput::run`] |
 //! | `fig10` | Fig. 10 re-mapping variants | [`remap::fig10`] |
 //! | `counters` | §VII-C hardware counters | [`counters::run`] |
 //! | `compression` | §VI compression example | [`compression::run`] |
@@ -18,10 +19,11 @@
 
 pub mod ablations;
 pub mod bytes;
-pub mod extensions;
 pub mod compression;
 pub mod counters;
 pub mod distributions;
+pub mod extensions;
 pub mod multiserver;
 pub mod remap;
+pub mod serve_throughput;
 pub mod throughput;

@@ -97,8 +97,10 @@ pub fn run(scale: Scale, seed: u64) -> MultiServerReport {
     };
     let trace = scenario.workload.sample_trace(sample_len, seed ^ 9);
 
-    let mut config = IndexConfig::default();
-    config.remap = RemapMode::LongOnly;
+    let config = IndexConfig {
+        remap: RemapMode::LongOnly,
+        ..IndexConfig::default()
+    };
     let index = scenario.build_index(config);
     let inverted = UnmodifiedInvertedIndex::build(&scenario.ads).expect("valid ads");
 
@@ -159,11 +161,7 @@ mod tests {
     /// structures are too close for a meaningful saturation contrast.
     #[test]
     fn hash_structure_wins_in_the_network_bound_regime() {
-        let r = simulate(
-            ServiceDist::constant(0.29),
-            ServiceDist::constant(1.72),
-            51,
-        );
+        let r = simulate(ServiceDist::constant(0.29), ServiceDist::constant(1.72), 51);
         assert!(
             r.hash.throughput_qps > 1.8 * r.inverted.throughput_qps,
             "hash {} vs inverted {}",
@@ -176,9 +174,7 @@ mod tests {
             r.hash.index_cpu_util,
             r.inverted.index_cpu_util
         );
-        assert!(
-            r.hash.latency.fraction_below(10.0) > r.inverted.latency.fraction_below(10.0)
-        );
+        assert!(r.hash.latency.fraction_below(10.0) > r.inverted.latency.fraction_below(10.0));
     }
 
     #[test]

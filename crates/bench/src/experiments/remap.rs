@@ -38,16 +38,21 @@ pub fn fig10(scale: Scale, seed: u64) -> Vec<RemapRow> {
         ("(a) no re-mapping", RemapMode::None),
         ("(b) long-only re-mapping", RemapMode::LongOnly),
         ("(c) full set-cover re-mapping", RemapMode::Full),
-        ("(c') full + withdrawal steps", RemapMode::FullWithWithdrawals),
+        (
+            "(c') full + withdrawal steps",
+            RemapMode::FullWithWithdrawals,
+        ),
     ];
 
     let mut rows: Vec<RemapRow> = Vec::new();
     let mut reference: Option<Vec<usize>> = None;
     for (label, mode) in variants {
-        let mut config = IndexConfig::default();
-        config.remap = mode;
-        config.max_words = 5;
-        config.probe_cap = 1 << 16;
+        let config = IndexConfig {
+            remap: mode,
+            max_words: 5,
+            probe_cap: 1 << 16,
+            ..IndexConfig::default()
+        };
         let (index, build_s) = time(|| scenario.build_index(config));
 
         // All variants must return identical results.
@@ -109,9 +114,7 @@ pub fn fig10(scale: Scale, seed: u64) -> Vec<RemapRow> {
         ]);
     }
     t.print();
-    println!(
-        "paper: (b) is a large improvement over (a); (c) gains ~10% more relative to (b)\n"
-    );
+    println!("paper: (b) is a large improvement over (a); (c) gains ~10% more relative to (b)\n");
     rows
 }
 
@@ -131,10 +134,12 @@ mod tests {
         let sample: Vec<&str> = trace.iter().take(2_000).copied().collect();
 
         let measure = |mode: RemapMode| -> (u64, f64, usize) {
-            let mut config = IndexConfig::default();
-            config.remap = mode;
-            config.max_words = 5;
-            config.probe_cap = 1 << 16;
+            let config = IndexConfig {
+                remap: mode,
+                max_words: 5,
+                probe_cap: 1 << 16,
+                ..IndexConfig::default()
+            };
             let index = scenario.build_index(config);
             let mut t = CountingTracker::new();
             for q in &sample {

@@ -33,10 +33,12 @@ pub fn run(scale: Scale, seed: u64) -> ThroughputReport {
     // adaptation and no general re-mapping; long phrases still map to
     // bounded locators (Section IV-B) and the probe cap is widened so
     // results are exact and comparable to the baselines.
-    let mut config = IndexConfig::default();
-    config.remap = RemapMode::LongOnly;
-    config.max_words = 10;
-    config.probe_cap = 1 << 20;
+    let config = IndexConfig {
+        remap: RemapMode::LongOnly,
+        max_words: 10,
+        probe_cap: 1 << 20,
+        ..IndexConfig::default()
+    };
     let (index, build_hash) = time(|| scenario.build_index(config));
     let (unmodified, build_unmod) =
         time(|| UnmodifiedInvertedIndex::build(&scenario.ads).expect("valid ads"));
@@ -112,7 +114,11 @@ pub fn run(scale: Scale, seed: u64) -> ThroughputReport {
         }
     };
     let mut t = Table::new(&["structure", "queries/s", "vs hash"]);
-    t.row_owned(vec!["hash word-set index".into(), fi(report.hash_qps), "1.00x".into()]);
+    t.row_owned(vec![
+        "hash word-set index".into(),
+        fi(report.hash_qps),
+        "1.00x".into(),
+    ]);
     t.row_owned(vec![
         "unmodified inverted (rarest word)".into(),
         fi(report.unmodified_qps),

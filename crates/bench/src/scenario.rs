@@ -93,7 +93,9 @@ impl Scenario {
     pub fn build_index(&self, config: IndexConfig) -> BroadMatchIndex {
         let mut builder = IndexBuilder::with_config(config);
         for (phrase, info) in &self.ads {
-            builder.add(phrase, *info).expect("generated phrases are valid");
+            builder
+                .add(phrase, *info)
+                .expect("generated phrases are valid");
         }
         builder.set_workload(self.workload.to_builder_workload());
         builder.build().expect("valid config")

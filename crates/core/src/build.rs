@@ -289,10 +289,7 @@ impl IndexBuilder {
         let workload = if workload_texts.is_empty() {
             QueryWorkload::uniform_over(group_words.iter().cloned())
         } else {
-            QueryWorkload::from_texts(
-                &vocab,
-                workload_texts.iter().map(|(t, f)| (t.as_str(), *f)),
-            )
+            QueryWorkload::from_texts(&vocab, workload_texts.iter().map(|(t, f)| (t.as_str(), *f)))
         };
 
         // Compute the mapping.
@@ -319,7 +316,9 @@ impl IndexBuilder {
         drop(metas);
         if config.remap != RemapMode::None {
             debug_assert!(
-                mapping.validate(&group_words, config.max_words, false).is_ok(),
+                mapping
+                    .validate(&group_words, config.max_words, false)
+                    .is_ok(),
                 "optimizer produced an invalid mapping: {:?}",
                 mapping.validate(&group_words, config.max_words, false)
             );
@@ -342,7 +341,10 @@ impl IndexBuilder {
                 // Key = full 64-bit wordhash of the locator.
                 let mut nodes: HashMap<u64, Vec<NodeEntry>, FxBuildHasher> = HashMap::default();
                 for (g, entry) in entries.into_iter().enumerate() {
-                    nodes.entry(mapping.locator(g).hash()).or_default().push(entry);
+                    nodes
+                        .entry(mapping.locator(g).hash())
+                        .or_default()
+                        .push(entry);
                 }
                 let mut keys: Vec<u64> = nodes.keys().copied().collect();
                 keys.sort_unstable();
@@ -368,8 +370,7 @@ impl IndexBuilder {
                 // narrowest s whose collision-induced extra scan stays well
                 // under the cost model's random/scan break-even.
                 let n_nodes = mapping.distinct_nodes().max(1);
-                let avg_node_bytes =
-                    (group_bytes.iter().sum::<usize>() / n_nodes).max(1) as u64;
+                let avg_node_bytes = (group_bytes.iter().sum::<usize>() / n_nodes).max(1) as u64;
                 let tolerance = (config.cost.break_even_scan_bytes() as f64 * 0.05).max(1.0);
                 let suffix_bits = broadmatch_succinct::pick_suffix_bits_by_model(
                     n_nodes as u64,
@@ -396,7 +397,10 @@ impl IndexBuilder {
                     items.push((key, (arena.len() - start) as u64));
                 }
                 let dir = broadmatch_succinct::CompressedDirectory::new(suffix_bits, &items);
-                (arena, NodeDirectory::Succinct(SuccinctNodeDirectory::new(dir)))
+                (
+                    arena,
+                    NodeDirectory::Succinct(SuccinctNodeDirectory::new(dir)),
+                )
             }
         };
 
@@ -442,14 +446,13 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut cfg = IndexConfig::default();
-        cfg.max_words = 0;
+        let cfg = IndexConfig {
+            max_words: 0,
+            ..IndexConfig::default()
+        };
         let mut b = IndexBuilder::with_config(cfg);
         b.add("x", AdInfo::default()).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(BuildError::InvalidConfig { .. })
-        ));
+        assert!(matches!(b.build(), Err(BuildError::InvalidConfig { .. })));
     }
 
     #[test]
@@ -519,7 +522,8 @@ mod tests {
     #[test]
     fn empty_exclusion_list_is_a_plain_add() {
         let mut b = IndexBuilder::new();
-        b.add_with_exclusions("x y", AdInfo::with_bid(1, 5), &[]).unwrap();
+        b.add_with_exclusions("x y", AdInfo::with_bid(1, 5), &[])
+            .unwrap();
         let index = b.build().unwrap();
         assert_eq!(index.query("x y z", MatchType::Broad).len(), 1);
     }

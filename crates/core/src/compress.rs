@@ -86,9 +86,11 @@ mod tests {
     use crate::{AdInfo, DirectoryKind, IndexBuilder, IndexConfig};
 
     fn build(compress: bool, directory: DirectoryKind) -> crate::BroadMatchIndex {
-        let mut cfg = IndexConfig::default();
-        cfg.compress_nodes = compress;
-        cfg.directory = directory;
+        let cfg = IndexConfig {
+            compress_nodes: compress,
+            directory,
+            ..IndexConfig::default()
+        };
         let mut b = IndexBuilder::with_config(cfg);
         for i in 0..200u32 {
             let phrase = format!("common{} word{} extra{}", i % 5, i % 40, i);
@@ -126,7 +128,11 @@ mod tests {
 
     #[test]
     fn succinct_space_accessor() {
-        assert!(build(false, DirectoryKind::Succinct).succinct_space().is_some());
-        assert!(build(false, DirectoryKind::HashTable).succinct_space().is_none());
+        assert!(build(false, DirectoryKind::Succinct)
+            .succinct_space()
+            .is_some());
+        assert!(build(false, DirectoryKind::HashTable)
+            .succinct_space()
+            .is_none());
     }
 }

@@ -162,9 +162,8 @@ pub(crate) fn evaluate_mapping(
     let mut hash_cost = 0.0;
     for q in workload.queries() {
         let lookups = subset_count(q.total_len, max_words).min(probe_cap as u64);
-        hash_cost += q.freq as f64
-            * lookups as f64
-            * (cost.cost_random + cost.cost_scan(SLOT_BYTES));
+        hash_cost +=
+            q.freq as f64 * lookups as f64 * (cost.cost_random + cost.cost_scan(SLOT_BYTES));
     }
 
     // Cost_Node: group nodes by locator and apply weight(S).
@@ -244,7 +243,11 @@ mod tests {
         let workload = wl(&[(&[1, 2, 3], 1)]);
         let acc = AccTable::build(&workload, 2, 1 << 20);
         assert_eq!(acc.acc_total(&ws(&[1, 2])), 1);
-        assert_eq!(acc.acc_total(&ws(&[1, 2, 3])), 0, "size-3 subsets not enumerated");
+        assert_eq!(
+            acc.acc_total(&ws(&[1, 2, 3])),
+            0,
+            "size-3 subsets not enumerated"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl HashTableDirectory {
     /// Probe for `hash`. Accounts one random access for the home slot and a
     /// sequential read per further probe step.
     #[inline]
-    pub(crate) fn lookup<T: AccessTracker>(&self, hash: u64, tracker: &mut T) -> Option<NodeExtent> {
+    pub(crate) fn lookup<T: AccessTracker>(
+        &self,
+        hash: u64,
+        tracker: &mut T,
+    ) -> Option<NodeExtent> {
         let mut i = (hash as usize) & self.mask;
         let mut first = true;
         loop {
@@ -197,7 +201,11 @@ impl SuccinctNodeDirectory {
     }
 
     #[inline]
-    pub(crate) fn lookup<T: AccessTracker>(&self, hash: u64, tracker: &mut T) -> Option<NodeExtent> {
+    pub(crate) fn lookup<T: AccessTracker>(
+        &self,
+        hash: u64,
+        tracker: &mut T,
+    ) -> Option<NodeExtent> {
         let suffix = self.inner.suffix_of(hash);
         // One random access into the bit structures; the rank/select reads
         // touch a handful of cache lines near the suffix position.
@@ -248,7 +256,11 @@ impl SortedArrayDirectory {
     }
 
     #[inline]
-    pub(crate) fn lookup<T: AccessTracker>(&self, hash: u64, tracker: &mut T) -> Option<NodeExtent> {
+    pub(crate) fn lookup<T: AccessTracker>(
+        &self,
+        hash: u64,
+        tracker: &mut T,
+    ) -> Option<NodeExtent> {
         let (mut lo, mut hi) = (0usize, self.items.len());
         while lo < hi {
             let mid = (lo + hi) / 2;
@@ -289,7 +301,11 @@ pub(crate) enum NodeDirectory {
 
 impl NodeDirectory {
     #[inline]
-    pub(crate) fn lookup<T: AccessTracker>(&self, hash: u64, tracker: &mut T) -> Option<NodeExtent> {
+    pub(crate) fn lookup<T: AccessTracker>(
+        &self,
+        hash: u64,
+        tracker: &mut T,
+    ) -> Option<NodeExtent> {
         match self {
             NodeDirectory::Hash(h) => h.lookup(hash, tracker),
             NodeDirectory::Succinct(s) => s.lookup(hash, tracker),

@@ -29,7 +29,10 @@ impl std::fmt::Display for BuildError {
                 write!(f, "ad phrase {phrase:?} contains no indexable words")
             }
             BuildError::PhraseTooLong { phrase, words } => {
-                write!(f, "ad phrase {phrase:?} has {words} words, exceeding the format limit")
+                write!(
+                    f,
+                    "ad phrase {phrase:?} has {words} words, exceeding the format limit"
+                )
             }
             BuildError::InvalidConfig { reason } => write!(f, "invalid index config: {reason}"),
         }

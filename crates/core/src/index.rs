@@ -34,6 +34,86 @@ pub struct MatchHit {
     pub info: AdInfo,
 }
 
+/// A fully planned query: everything derivable from the query text alone,
+/// computed once — tokenization, vocabulary lookups, match-type probe-set
+/// construction and the bounded subset enumeration (Section IV-B), already
+/// hashed and capped by `probe_cap`.
+///
+/// A plan is the unit of work distribution in sharded serving: the probe
+/// hashes partition across shards by residue (`hash % n_shards`), each shard
+/// executes its slice with [`BroadMatchIndex::execute_probes`], and
+/// [`BroadMatchIndex::finish_query`] gathers the batches into exactly the
+/// hits (and [`QueryStats`]) the single-threaded
+/// [`BroadMatchIndex::query_with_stats`] would have produced.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    match_type: MatchType,
+    /// Canonical probe word set (drives subset filtering during scans).
+    probe_set: WordSet,
+    /// Complete folded set for exact match.
+    exact_set: Option<WordSet>,
+    /// Raw query token ids in order (`None` = word unknown to the vocab).
+    raw_query: Vec<Option<WordId>>,
+    /// Folded query length (scan sizing hint).
+    qlen: usize,
+    /// Probe hashes in enumeration order, truncated at `probe_cap`.
+    probes: Vec<u64>,
+    /// Whether the probe cap cut enumeration short.
+    truncated: bool,
+}
+
+impl QueryPlan {
+    /// The probe hashes, in subset-enumeration order. Index positions are
+    /// the probe indices [`BroadMatchIndex::execute_probes`] expects.
+    pub fn probe_hashes(&self) -> &[u64] {
+        &self.probes
+    }
+
+    /// Number of probes the plan will issue.
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the probe cap truncated subset enumeration.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The matching semantics this plan was built for.
+    pub fn match_type(&self) -> MatchType {
+        self.match_type
+    }
+}
+
+/// One data node scanned while executing a slice of a [`QueryPlan`].
+#[derive(Debug, Clone)]
+pub struct ScannedNode {
+    /// Arena extent of the node — the global deduplication key (distinct
+    /// probes, even on different shards, can reach the same node through
+    /// hash collisions or shared locators).
+    pub extent: (u32, u32),
+    /// Enumeration index of the probe that first reached this node; gather
+    /// sorts by it so sharded execution reproduces single-threaded hit
+    /// order exactly.
+    pub first_probe: usize,
+    /// Hits this node produced under the plan's match semantics (exclusion
+    /// filtering is deferred to [`BroadMatchIndex::finish_query`]).
+    pub hits: Vec<MatchHit>,
+}
+
+/// Result of executing a slice of a plan's probes
+/// ([`BroadMatchIndex::execute_probes`]).
+#[derive(Debug, Clone, Default)]
+pub struct ProbeBatch {
+    /// Distinct nodes this batch scanned (deduplicated batch-locally;
+    /// cross-batch dedup happens at gather).
+    pub nodes: Vec<ScannedNode>,
+    /// Probes issued.
+    pub probes: usize,
+    /// Probes that found a node.
+    pub probe_hits: usize,
+}
+
 /// Per-query processing statistics (observability; see
 /// [`BroadMatchIndex::query_with_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -149,8 +229,7 @@ impl BroadMatchIndex {
         match_type: MatchType,
     ) -> (Vec<MatchHit>, QueryStats) {
         let mut stats = QueryStats::default();
-        let hits =
-            self.query_internal(query_text, match_type, &mut NullTracker, Some(&mut stats));
+        let hits = self.query_internal(query_text, match_type, &mut NullTracker, Some(&mut stats));
         stats.hits = hits.len();
         (hits, stats)
     }
@@ -166,17 +245,17 @@ impl BroadMatchIndex {
         self.query_internal(query_text, match_type, tracker, None)
     }
 
-    fn query_internal<T: AccessTracker>(
-        &self,
-        query_text: &str,
-        match_type: MatchType,
-        tracker: &mut T,
-        mut stats: Option<&mut QueryStats>,
-    ) -> Vec<MatchHit> {
+    /// Plan a query: tokenize, fold duplicates, resolve vocabulary ids and
+    /// run the bounded subset enumeration (Section IV-B) exactly once.
+    ///
+    /// Returns `None` when the query can match nothing — no tokens, no
+    /// known probe words, or (exact match only) an unknown folded token.
+    /// Such queries issue zero probes, matching the single-threaded path.
+    pub fn plan_query(&self, query_text: &str, match_type: MatchType) -> Option<QueryPlan> {
         let tokens = tokenize(query_text);
         let folded = fold_duplicates(&tokens);
         if folded.is_empty() {
-            return Vec::new();
+            return None;
         }
         let qlen = folded.len();
 
@@ -205,7 +284,7 @@ impl BroadMatchIndex {
         };
         let probe_set = WordSet::from_unsorted(probe_ids);
         if probe_set.is_empty() {
-            return Vec::new();
+            return None;
         }
 
         // Exact match needs the complete folded set; if any folded query
@@ -213,10 +292,7 @@ impl BroadMatchIndex {
         let exact_set: Option<WordSet> = if match_type == MatchType::Exact {
             let mut ids = Vec::with_capacity(folded.len());
             for t in &folded {
-                match self.vocab.get_folded(t) {
-                    Some(id) => ids.push(id),
-                    None => return Vec::new(),
-                }
+                ids.push(self.vocab.get_folded(t)?);
             }
             Some(WordSet::from_unsorted(ids))
         } else {
@@ -225,72 +301,93 @@ impl BroadMatchIndex {
 
         // Raw query token ids for order-sensitive matching; unknown words
         // become None and never match a bid word.
-        let raw_query: Vec<Option<WordId>> =
-            tokens.iter().map(|t| self.vocab.get(t)).collect();
-
-        let mut hits = Vec::new();
-        let mut visited: Vec<(u32, u32)> = Vec::new();
-        let mut scratch = ScanScratch::default();
+        let raw_query: Vec<Option<WordId>> = tokens.iter().map(|t| self.vocab.get(t)).collect();
 
         let max_subset = self.max_locator_len.min(probe_set.len());
         let mut iter = probe_set.subsets(max_subset);
-        let mut probes = 0usize;
+        let mut probes = Vec::new();
+        let mut truncated = false;
         while let Some(subset) = iter.next_subset() {
-            if probes >= self.config.probe_cap {
-                if let Some(s) = stats.as_deref_mut() {
-                    s.truncated = true;
-                }
+            if probes.len() >= self.config.probe_cap {
+                truncated = true;
                 break;
             }
-            probes += 1;
-            let hash = crate::wordhash(subset);
+            probes.push(crate::wordhash(subset));
+        }
+
+        Some(QueryPlan {
+            match_type,
+            probe_set,
+            exact_set,
+            raw_query,
+            qlen,
+            probes,
+            truncated,
+        })
+    }
+
+    /// Execute the probes at `probe_indices` — positions into
+    /// [`QueryPlan::probe_hashes`] — against this index. A shard owning
+    /// residue `r` of `n` executes
+    /// `plan.probe_hashes().iter().enumerate().filter(|(_, h)| *h % n == r)`;
+    /// the full single-threaded execution is `0..plan.probe_count()`.
+    pub fn execute_probes(
+        &self,
+        plan: &QueryPlan,
+        probe_indices: impl IntoIterator<Item = usize>,
+    ) -> ProbeBatch {
+        self.execute_probes_tracked(plan, probe_indices, &mut NullTracker)
+    }
+
+    /// [`BroadMatchIndex::execute_probes`], reporting every memory access
+    /// to `tracker`.
+    pub fn execute_probes_tracked<T: AccessTracker>(
+        &self,
+        plan: &QueryPlan,
+        probe_indices: impl IntoIterator<Item = usize>,
+        tracker: &mut T,
+    ) -> ProbeBatch {
+        let mut batch = ProbeBatch::default();
+        let mut scratch = ScanScratch::default();
+        for idx in probe_indices {
+            let hash = plan.probes[idx];
+            batch.probes += 1;
             let found = self.directory.lookup(hash, tracker);
             tracker.branch(crate::node::SITE_PROBE, found.is_some());
-            if let Some(s) = stats.as_deref_mut() {
-                s.probes += 1;
-                if found.is_some() {
-                    s.probe_hits += 1;
-                }
-            }
             let Some((start, end)) = found else {
                 continue;
             };
-            if visited.contains(&(start, end)) {
+            batch.probe_hits += 1;
+            if batch.nodes.iter().any(|n| n.extent == (start, end)) {
                 continue; // hash collision or shared suffix: already scanned
             }
-            visited.push((start, end));
-            if let Some(s) = stats.as_deref_mut() {
-                s.nodes_visited += 1;
-            }
 
+            let mut hits = Vec::new();
             let bytes = self.arena.slice(start as usize, end as usize);
-            match match_type {
+            match plan.match_type {
                 MatchType::Broad => scan_node(
                     bytes,
                     start as u64,
                     self.codec,
-                    qlen,
+                    plan.qlen,
                     &mut scratch,
                     tracker,
-                    |entry_words| is_sorted_subset(entry_words, probe_set.ids()),
+                    |entry_words| is_sorted_subset(entry_words, plan.probe_set.ids()),
                     |_, _, ad, info| hits.push(MatchHit { ad, info }),
                 ),
                 MatchType::Exact => {
-                    let target = exact_set.as_ref().expect("set for exact match");
+                    let target = plan.exact_set.as_ref().expect("set for exact match");
                     scan_node(
                         bytes,
                         start as u64,
                         self.codec,
-                        qlen,
+                        plan.qlen,
                         &mut scratch,
                         tracker,
                         |entry_words| entry_words == target.ids(),
                         |_, raw, ad, info| {
-                            if raw.len() == raw_query.len()
-                                && raw
-                                    .iter()
-                                    .zip(&raw_query)
-                                    .all(|(&w, q)| *q == Some(w))
+                            if raw.len() == plan.raw_query.len()
+                                && raw.iter().zip(&plan.raw_query).all(|(&w, q)| *q == Some(w))
                             {
                                 hits.push(MatchHit { ad, info });
                             }
@@ -301,28 +398,80 @@ impl BroadMatchIndex {
                     bytes,
                     start as u64,
                     self.codec,
-                    qlen,
+                    plan.qlen,
                     &mut scratch,
                     tracker,
-                    |entry_words| is_sorted_subset(entry_words, probe_set.ids()),
+                    |entry_words| is_sorted_subset(entry_words, plan.probe_set.ids()),
                     |_, raw, ad, info| {
-                        if contains_contiguous(&raw_query, raw) {
+                        if contains_contiguous(&plan.raw_query, raw) {
                             hits.push(MatchHit { ad, info });
                         }
                     },
                 ),
             }
+            batch.nodes.push(ScannedNode {
+                extent: (start, end),
+                first_probe: idx,
+                hits,
+            });
         }
+        batch
+    }
+
+    /// Gather probe batches into the final hit list and statistics:
+    /// cross-batch node deduplication, deterministic hit order (nodes sorted
+    /// by the enumeration index of the probe that first reached them, so
+    /// sharded execution is bit-identical to single-threaded), and exclusion
+    /// filtering (Section I: drop hits whose campaign excluded any word
+    /// present in the query).
+    pub fn finish_query(
+        &self,
+        plan: &QueryPlan,
+        batches: impl IntoIterator<Item = ProbeBatch>,
+    ) -> (Vec<MatchHit>, QueryStats) {
+        let mut stats = QueryStats {
+            truncated: plan.truncated,
+            ..QueryStats::default()
+        };
+        let mut nodes: Vec<ScannedNode> = Vec::new();
+        for batch in batches {
+            stats.probes += batch.probes;
+            stats.probe_hits += batch.probe_hits;
+            for node in batch.nodes {
+                match nodes.iter_mut().find(|n| n.extent == node.extent) {
+                    Some(seen) => seen.first_probe = seen.first_probe.min(node.first_probe),
+                    None => nodes.push(node),
+                }
+            }
+        }
+        nodes.sort_by_key(|n| n.first_probe);
+        stats.nodes_visited = nodes.len();
+
+        let mut hits: Vec<MatchHit> = nodes.into_iter().flat_map(|n| n.hits).collect();
         if !self.exclusions.is_empty() {
-            // Exclusion phrases (Section I): drop hits whose campaign
-            // excluded any word present in the query.
             hits.retain(|h| match self.exclusions.get(&h.ad) {
-                Some(excluded) => !excluded
-                    .ids()
-                    .iter()
-                    .any(|&w| probe_set.contains(w)),
+                Some(excluded) => !excluded.ids().iter().any(|&w| plan.probe_set.contains(w)),
                 None => true,
             });
+        }
+        stats.hits = hits.len();
+        (hits, stats)
+    }
+
+    fn query_internal<T: AccessTracker>(
+        &self,
+        query_text: &str,
+        match_type: MatchType,
+        tracker: &mut T,
+        stats: Option<&mut QueryStats>,
+    ) -> Vec<MatchHit> {
+        let Some(plan) = self.plan_query(query_text, match_type) else {
+            return Vec::new();
+        };
+        let batch = self.execute_probes_tracked(&plan, 0..plan.probe_count(), tracker);
+        let (hits, full_stats) = self.finish_query(&plan, [batch]);
+        if let Some(s) = stats {
+            *s = full_stats;
         }
         hits
     }
@@ -472,11 +621,9 @@ fn contains_contiguous(haystack: &[Option<WordId>], needle: &[WordId]) -> bool {
     if needle.is_empty() || needle.len() > haystack.len() {
         return false;
     }
-    haystack.windows(needle.len()).any(|w| {
-        w.iter()
-            .zip(needle)
-            .all(|(h, &n)| *h == Some(n))
-    })
+    haystack
+        .windows(needle.len())
+        .any(|w| w.iter().zip(needle).all(|(h, &n)| *h == Some(n)))
 }
 
 #[cfg(test)]
@@ -486,19 +633,24 @@ mod tests {
     use broadmatch_memcost::CountingTracker;
 
     fn sample_index(remap: RemapMode, directory: DirectoryKind, compress: bool) -> BroadMatchIndex {
-        let mut cfg = IndexConfig::default();
-        cfg.remap = remap;
-        cfg.directory = directory;
-        cfg.compress_nodes = compress;
-        cfg.max_words = 3;
+        let cfg = IndexConfig {
+            remap,
+            directory,
+            compress_nodes: compress,
+            max_words: 3,
+            ..IndexConfig::default()
+        };
         let mut b = IndexBuilder::with_config(cfg);
         b.add("used books", AdInfo::with_bid(1, 10)).unwrap();
         b.add("cheap used books", AdInfo::with_bid(2, 20)).unwrap();
         b.add("books", AdInfo::with_bid(3, 30)).unwrap();
         b.add("comic books", AdInfo::with_bid(4, 40)).unwrap();
         b.add("talk talk", AdInfo::with_bid(5, 50)).unwrap();
-        b.add("rare first edition signed hardcover books", AdInfo::with_bid(6, 60))
-            .unwrap();
+        b.add(
+            "rare first edition signed hardcover books",
+            AdInfo::with_bid(6, 60),
+        )
+        .unwrap();
         b.build().unwrap()
     }
 
@@ -514,7 +666,10 @@ mod tests {
             listing_ids(&index.query("cheap used books online", MatchType::Broad)),
             vec![1, 2, 3]
         );
-        assert_eq!(listing_ids(&index.query("books", MatchType::Broad)), vec![3]);
+        assert_eq!(
+            listing_ids(&index.query("books", MatchType::Broad)),
+            vec![3]
+        );
         assert_eq!(
             listing_ids(&index.query("comic books cheap", MatchType::Broad)),
             vec![3, 4]
@@ -545,17 +700,22 @@ mod tests {
             vec![1]
         );
         assert!(index.query("books used", MatchType::Exact).is_empty());
-        assert!(index.query("cheap used books online", MatchType::Exact).is_empty());
+        assert!(index
+            .query("cheap used books online", MatchType::Exact)
+            .is_empty());
 
         // Phrase match: contiguous in-order containment.
         assert_eq!(
             listing_ids(&index.query("buy used books today", MatchType::Phrase)),
             vec![1, 3]
         );
-        assert!(index
-            .query("used comic books", MatchType::Phrase)
-            .iter()
-            .all(|h| h.info.listing_id != 1), "gap breaks phrase match");
+        assert!(
+            index
+                .query("used comic books", MatchType::Phrase)
+                .iter()
+                .all(|h| h.info.listing_id != 1),
+            "gap breaks phrase match"
+        );
         // Phrase match with higher query multiplicity still finds the bid.
         assert_eq!(
             listing_ids(&index.query("talk talk talk", MatchType::Phrase)),
@@ -565,17 +725,29 @@ mod tests {
 
     #[test]
     fn semantics_no_remap() {
-        check_semantics(&sample_index(RemapMode::None, DirectoryKind::HashTable, false));
+        check_semantics(&sample_index(
+            RemapMode::None,
+            DirectoryKind::HashTable,
+            false,
+        ));
     }
 
     #[test]
     fn semantics_long_only() {
-        check_semantics(&sample_index(RemapMode::LongOnly, DirectoryKind::HashTable, false));
+        check_semantics(&sample_index(
+            RemapMode::LongOnly,
+            DirectoryKind::HashTable,
+            false,
+        ));
     }
 
     #[test]
     fn semantics_full_remap() {
-        check_semantics(&sample_index(RemapMode::Full, DirectoryKind::HashTable, false));
+        check_semantics(&sample_index(
+            RemapMode::Full,
+            DirectoryKind::HashTable,
+            false,
+        ));
     }
 
     #[test]
@@ -589,17 +761,29 @@ mod tests {
 
     #[test]
     fn semantics_succinct_directory() {
-        check_semantics(&sample_index(RemapMode::LongOnly, DirectoryKind::Succinct, false));
+        check_semantics(&sample_index(
+            RemapMode::LongOnly,
+            DirectoryKind::Succinct,
+            false,
+        ));
     }
 
     #[test]
     fn semantics_compressed_nodes() {
-        check_semantics(&sample_index(RemapMode::LongOnly, DirectoryKind::HashTable, true));
+        check_semantics(&sample_index(
+            RemapMode::LongOnly,
+            DirectoryKind::HashTable,
+            true,
+        ));
     }
 
     #[test]
     fn semantics_compressed_succinct_full() {
-        check_semantics(&sample_index(RemapMode::Full, DirectoryKind::Succinct, true));
+        check_semantics(&sample_index(
+            RemapMode::Full,
+            DirectoryKind::Succinct,
+            true,
+        ));
     }
 
     #[test]
@@ -657,7 +841,10 @@ mod tests {
         assert!(stats.hits > 0);
         // 3 known words, max_words 3 => 7 subsets probed.
         assert_eq!(stats.probes, 7);
-        assert!(stats.probe_hits >= 2, "at least {{books}} misses, bid sets hit");
+        assert!(
+            stats.probe_hits >= 2,
+            "at least {{books}} misses, bid sets hit"
+        );
         assert!(stats.nodes_visited >= 2);
         assert!(!stats.truncated);
 
@@ -670,15 +857,71 @@ mod tests {
 
     #[test]
     fn query_stats_report_truncation() {
-        let mut cfg = IndexConfig::default();
-        cfg.probe_cap = 3;
-        cfg.max_words = 3;
+        let cfg = IndexConfig {
+            probe_cap: 3,
+            max_words: 3,
+            ..IndexConfig::default()
+        };
         let mut b = IndexBuilder::with_config(cfg);
         b.add("a b c", AdInfo::with_bid(1, 1)).unwrap();
         let index = b.build().unwrap();
         let (_, stats) = index.query_with_stats("a b c", MatchType::Broad);
         assert!(stats.truncated);
         assert_eq!(stats.probes, 3);
+    }
+
+    #[test]
+    fn sharded_plan_execution_matches_single_threaded() {
+        let index = sample_index(RemapMode::Full, DirectoryKind::Succinct, true);
+        for (q, mt) in [
+            ("cheap used books online", MatchType::Broad),
+            ("comic books cheap", MatchType::Broad),
+            ("buy used books today", MatchType::Phrase),
+            ("talk talk talk", MatchType::Phrase),
+            ("used books", MatchType::Exact),
+            (
+                "rare first edition signed hardcover books for sale",
+                MatchType::Broad,
+            ),
+        ] {
+            let (want_hits, want_stats) = index.query_with_stats(q, mt);
+            let plan = index.plan_query(q, mt).expect("known words");
+            for n_shards in [1usize, 2, 3, 5] {
+                // Each shard owns the probes whose hash lands on its residue;
+                // gather must reproduce hits AND stats bit-for-bit.
+                let batches: Vec<ProbeBatch> = (0..n_shards as u64)
+                    .map(|shard| {
+                        index.execute_probes(
+                            &plan,
+                            plan.probe_hashes()
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, h)| h % n_shards as u64 == shard)
+                                .map(|(i, _)| i)
+                                .collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect();
+                let (hits, stats) = index.finish_query(&plan, batches);
+                assert_eq!(hits, want_hits, "{q} ({mt:?}) across {n_shards} shards");
+                assert_eq!(stats, want_stats, "{q} ({mt:?}) across {n_shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_query_rejects_hopeless_queries() {
+        let index = sample_index(RemapMode::LongOnly, DirectoryKind::HashTable, false);
+        assert!(index.plan_query("", MatchType::Broad).is_none());
+        assert!(index.plan_query("zzz qqq", MatchType::Broad).is_none());
+        // Exact match with one unknown word can never succeed.
+        assert!(index
+            .plan_query("used books zzz", MatchType::Exact)
+            .is_none());
+        // ...but broad match still probes the known subset.
+        assert!(index
+            .plan_query("used books zzz", MatchType::Broad)
+            .is_some());
     }
 
     #[test]

@@ -73,12 +73,15 @@ mod wordset;
 mod workload;
 
 pub use build::{DirectoryKind, IndexBuilder, IndexConfig, RemapMode};
-pub use node::{SITE_EARLY_TERM, SITE_ENTRY_MATCH, SITE_PROBE};
 pub use costmodel::{CostBreakdown, MappingCost};
 pub use error::BuildError;
 pub use hash::{wordhash, FxBuildHasher, FxHasher};
-pub use index::{BroadMatchIndex, IndexStats, MatchHit, MatchType, QueryStats};
+pub use index::{
+    BroadMatchIndex, IndexStats, MatchHit, MatchType, ProbeBatch, QueryPlan, QueryStats,
+    ScannedNode,
+};
 pub use maintain::MaintainedIndex;
+pub use node::{SITE_EARLY_TERM, SITE_ENTRY_MATCH, SITE_PROBE};
 pub use optimize::{Mapping, MappingStats};
 pub use persist::PersistError;
 pub use stats::CorpusStats;

@@ -9,11 +9,13 @@
 //! ([`MaintainedIndex::reoptimize`]), since online set cover has much weaker
 //! guarantees.
 //!
-//! [`MaintainedIndex`] wraps a [`BroadMatchIndex`] in a `parking_lot`
-//! read-write lock: queries take shared locks, mutations exclusive ones —
-//! matching the read-mostly reality of ad serving.
+//! [`MaintainedIndex`] wraps a [`BroadMatchIndex`] in a [`std::sync::RwLock`]:
+//! queries take shared locks, mutations exclusive ones — matching the
+//! read-mostly reality of ad serving. For serving paths where even a shared
+//! lock is too much coordination, `broadmatch-serve` layers an atomic
+//! snapshot-swap runtime on top of immutable [`BroadMatchIndex`] values.
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::build::{DirectoryKind, IndexBuilder};
 use crate::directory::NodeDirectory;
@@ -70,7 +72,10 @@ impl MaintainedIndex {
 
     /// Run a query under a shared lock.
     pub fn query(&self, query_text: &str, match_type: MatchType) -> Vec<MatchHit> {
-        self.inner.read().query(query_text, match_type)
+        self.inner
+            .read()
+            .expect("index lock poisoned")
+            .query(query_text, match_type)
     }
 
     /// Insert one advertisement, placing it with the local heuristic.
@@ -78,7 +83,7 @@ impl MaintainedIndex {
     /// # Errors
     /// Same phrase validation as [`IndexBuilder::add`].
     pub fn insert(&self, phrase: &str, info: AdInfo) -> Result<AdId, BuildError> {
-        let mut idx = self.inner.write();
+        let mut idx = self.inner.write().expect("index lock poisoned");
         let (words, raw) = idx.vocab_mut().intern_phrase(phrase);
         if words.is_empty() {
             return Err(BuildError::EmptyPhrase {
@@ -142,7 +147,7 @@ impl MaintainedIndex {
         let mut entries = match idx.directory().lookup(key, &mut tracker) {
             Some((start, end)) => {
                 let bytes = idx.arena().slice(start as usize, end as usize).to_vec();
-                *self.dead_bytes.write() += (end - start) as usize;
+                *self.dead_bytes.write().expect("lock poisoned") += (end - start) as usize;
                 crate::node::decode_node(&bytes, idx.codec())
             }
             None => Vec::new(),
@@ -178,7 +183,7 @@ impl MaintainedIndex {
     /// Runs the equivalent of a broad-match probe to locate the hosting node
     /// (the paper's deletion path).
     pub fn remove(&self, phrase: &str, listing_id: u64) -> usize {
-        let mut idx = self.inner.write();
+        let mut idx = self.inner.write().expect("index lock poisoned");
         let tokens = crate::tokenize(phrase);
         let folded = crate::fold_duplicates(&tokens);
         let ids: Option<Vec<crate::WordId>> =
@@ -219,9 +224,9 @@ impl MaintainedIndex {
             let entries = crate::node::decode_node(bytes, idx.codec());
             let hit = entries.iter().any(|e| {
                 e.words == words
-                    && e.phrases
-                        .iter()
-                        .any(|p| p.raw == raw && p.ads.iter().any(|(_, i)| i.listing_id == listing_id))
+                    && e.phrases.iter().any(|p| {
+                        p.raw == raw && p.ads.iter().any(|(_, i)| i.listing_id == listing_id)
+                    })
             });
             if hit {
                 target = Some((h, start, end));
@@ -249,7 +254,7 @@ impl MaintainedIndex {
         }
         entries.retain(|e| !e.phrases.is_empty());
 
-        *self.dead_bytes.write() += (end - start) as usize;
+        *self.dead_bytes.write().expect("lock poisoned") += (end - start) as usize;
         if entries.is_empty() {
             match idx.directory_mut() {
                 NodeDirectory::Hash(h) => {
@@ -278,12 +283,12 @@ impl MaintainedIndex {
 
     /// Bytes orphaned in the arena by node rewrites since the last rebuild.
     pub fn dead_bytes(&self) -> usize {
-        *self.dead_bytes.read()
+        *self.dead_bytes.read().expect("lock poisoned")
     }
 
     /// Number of ads currently indexed.
     pub fn len(&self) -> usize {
-        self.inner.read().stats().ads
+        self.inner.read().expect("index lock poisoned").stats().ads
     }
 
     /// True if no ads remain.
@@ -297,7 +302,7 @@ impl MaintainedIndex {
     ///
     /// Ad ids are reassigned; listing ids in [`AdInfo`] are the stable keys.
     pub fn reoptimize(&self, workload: Option<Vec<(String, u64)>>) -> Result<(), BuildError> {
-        let mut idx = self.inner.write();
+        let mut idx = self.inner.write().expect("index lock poisoned");
         let ads = idx.export_ads();
         let mut builder = IndexBuilder::with_config(*idx.config());
         debug_assert!(matches!(idx.config().directory, DirectoryKind::HashTable));
@@ -323,13 +328,13 @@ impl MaintainedIndex {
             builder.set_workload(w);
         }
         *idx = builder.build()?;
-        *self.dead_bytes.write() = 0;
+        *self.dead_bytes.write().expect("lock poisoned") = 0;
         Ok(())
     }
 
     /// Borrow the wrapped index (read lock) for statistics and reports.
     pub fn with_index<R>(&self, f: impl FnOnce(&BroadMatchIndex) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.inner.read().expect("index lock poisoned"))
     }
 }
 
@@ -362,9 +367,7 @@ fn insert_into_entries(
 }
 
 /// Work around simultaneous `&mut arena` + `&directory` borrows.
-fn split_arena_dir(
-    idx: &mut BroadMatchIndex,
-) -> (&mut crate::arena::Arena, ()) {
+fn split_arena_dir(idx: &mut BroadMatchIndex) -> (&mut crate::arena::Arena, ()) {
     (idx.arena_mut(), ())
 }
 
@@ -382,8 +385,10 @@ mod tests {
 
     #[test]
     fn rejects_succinct_directory() {
-        let mut cfg = IndexConfig::default();
-        cfg.directory = DirectoryKind::Succinct;
+        let cfg = IndexConfig {
+            directory: DirectoryKind::Succinct,
+            ..IndexConfig::default()
+        };
         let mut b = IndexBuilder::with_config(cfg);
         b.add("x", AdInfo::default()).unwrap();
         assert!(MaintainedIndex::new(b.build().unwrap()).is_err());
@@ -427,7 +432,9 @@ mod tests {
     #[test]
     fn remove_deletes_only_matching_listing() {
         let index = base_index();
-        index.insert("used books", AdInfo::with_bid(42, 99)).unwrap();
+        index
+            .insert("used books", AdInfo::with_bid(42, 99))
+            .unwrap();
         assert_eq!(index.remove("used books", 1), 1);
         let hits = index.query("used books", MatchType::Broad);
         assert_eq!(hits.len(), 1);
@@ -441,9 +448,7 @@ mod tests {
     fn remove_can_empty_a_node() {
         let index = base_index();
         assert_eq!(index.remove("cheap used books", 2), 1);
-        assert!(index
-            .query("cheap used books", MatchType::Exact)
-            .is_empty());
+        assert!(index.query("cheap used books", MatchType::Exact).is_empty());
         // The other node still answers.
         assert_eq!(index.query("used books", MatchType::Broad).len(), 1);
     }
@@ -463,7 +468,10 @@ mod tests {
         let index = base_index();
         for i in 0..20u32 {
             index
-                .insert(&format!("brand{} item", i), AdInfo::with_bid(100 + i as u64, i))
+                .insert(
+                    &format!("brand{} item", i),
+                    AdInfo::with_bid(100 + i as u64, i),
+                )
                 .unwrap();
         }
         index.remove("brand3 item", 103);

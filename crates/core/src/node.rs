@@ -24,7 +24,8 @@ use crate::arena::{unzigzag, zigzag, Arena, Cursor};
 use crate::{AdId, AdInfo, WordId, WordSet};
 
 /// Which node encoding an index uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub(crate) enum Codec {
     Plain,
     Compressed,
@@ -79,7 +80,10 @@ pub(crate) fn encode_node(entries: &mut [NodeEntry], codec: Codec, arena: &mut A
     let mut prev_words: &[WordId] = &[];
     for entry in entries.iter() {
         assert!(entry.words.len() <= u8::MAX as usize, "word set too large");
-        assert!(entry.phrases.len() <= u16::MAX as usize, "too many phrase groups");
+        assert!(
+            entry.phrases.len() <= u16::MAX as usize,
+            "too many phrase groups"
+        );
         match codec {
             Codec::Plain => encode_entry_plain(entry, arena),
             Codec::Compressed => encode_entry_compressed(entry, prev_words, arena),
@@ -96,7 +100,10 @@ fn encode_entry_plain(entry: &NodeEntry, arena: &mut Arena) {
     arena.push_u16(entry.phrases.len() as u16);
     for p in &entry.phrases {
         assert!(p.raw.len() <= u8::MAX as usize, "phrase too long");
-        assert!(p.ads.len() <= u16::MAX as usize, "too many ads in phrase group");
+        assert!(
+            p.ads.len() <= u16::MAX as usize,
+            "too many ads in phrase group"
+        );
         arena.push_u8(p.raw.len() as u8);
         for &WordId(id) in &p.raw {
             arena.push_u32(id);
@@ -123,7 +130,11 @@ fn encode_entry_compressed(entry: &NodeEntry, prev_words: &[WordId], arena: &mut
         .count()
         .min(u8::MAX as usize);
     arena.push_u8(shared as u8);
-    let mut prev_id = if shared > 0 { words[shared - 1].0 as u64 } else { 0 };
+    let mut prev_id = if shared > 0 {
+        words[shared - 1].0 as u64
+    } else {
+        0
+    };
     for (i, &WordId(id)) in words.iter().enumerate().skip(shared) {
         // Gap from the previous id; the very first id is stored absolutely.
         if i == 0 {
@@ -213,7 +224,9 @@ pub(crate) fn scan_node<T, F, S>(
             Codec::Compressed => {
                 let shared = cur.read_u8() as usize;
                 debug_assert!(shared <= word_count && shared <= scratch.prev_words.len());
-                scratch.words.extend_from_slice(&scratch.prev_words[..shared]);
+                scratch
+                    .words
+                    .extend_from_slice(&scratch.prev_words[..shared]);
                 let mut prev_id = if shared > 0 {
                     scratch.words[shared - 1].0 as u64
                 } else {
@@ -323,10 +336,7 @@ pub(crate) fn decode_node(bytes: &[u8], codec: Codec) -> Vec<NodeEntry> {
         |_| true,
         |words, raw, ad_id, info| {
             let ws = WordSet::from_sorted(words.to_vec());
-            if out
-                .last()
-                .is_none_or(|e: &NodeEntry| e.words != ws)
-            {
+            if out.last().is_none_or(|e: &NodeEntry| e.words != ws) {
                 out.push(NodeEntry {
                     words: ws.clone(),
                     phrases: Vec::new(),
@@ -425,7 +435,9 @@ mod tests {
         let mut arena = Arena::new();
         encode_node(&mut entries, Codec::Plain, &mut arena);
         let decoded = decode_node(arena.as_slice(), Codec::Plain);
-        assert!(decoded.windows(2).all(|w| w[0].words.len() <= w[1].words.len()));
+        assert!(decoded
+            .windows(2)
+            .all(|w| w[0].words.len() <= w[1].words.len()));
     }
 
     #[test]

@@ -226,7 +226,11 @@ fn candidate_locators(
         }
     }
     if out.is_empty() {
-        out.push(synthetic_locator(meta.words, input.max_words, input.word_freq));
+        out.push(synthetic_locator(
+            meta.words,
+            input.max_words,
+            input.word_freq,
+        ));
     }
     out.sort_by(|a, b| {
         let wa = standalone_weight(a, meta.words.len(), meta.bytes, acc, input.cost);
@@ -317,10 +321,7 @@ pub(crate) fn remap_full(input: &OptimizerInput<'_>, withdrawals: bool) -> Mappi
         for (g, cands) in best_locators.iter().enumerate() {
             for l in cands {
                 let idx = seen[l];
-                members
-                    .entry(&locator_store[idx])
-                    .or_default()
-                    .push(g);
+                members.entry(&locator_store[idx]).or_default().push(g);
             }
         }
     }
@@ -408,9 +409,7 @@ pub(crate) fn remap_full(input: &OptimizerInput<'_>, withdrawals: bool) -> Mappi
     for &ci in &solution.chosen {
         let (li, ref groups) = tags[ci];
         for &g in groups {
-            let is_owner = group_index
-                .get(&locator_store[li])
-                .is_some_and(|&o| o == g);
+            let is_owner = group_index.get(&locator_store[li]).is_some_and(|&o| o == g);
             match assigned[g] {
                 None => assigned[g] = Some(li),
                 Some(_) if is_owner => assigned[g] = Some(li),
@@ -542,7 +541,10 @@ mod tests {
         let groups_ws = [ws(&[1]), ws(&[2, 3]), ws(&[1, 2, 3, 4, 5])];
         let metas: Vec<GroupMeta> = groups_ws
             .iter()
-            .map(|w| GroupMeta { words: w, bytes: 40 })
+            .map(|w| GroupMeta {
+                words: w,
+                bytes: 40,
+            })
             .collect();
         let workload = wl(&[(&[1, 2, 3, 4, 5], 5), (&[1], 10)]);
         let input = OptimizerInput {
@@ -566,7 +568,10 @@ mod tests {
         let groups_ws = [ws(&[1, 2]), ws(&[1, 2, 3, 4])];
         let metas: Vec<GroupMeta> = groups_ws
             .iter()
-            .map(|w| GroupMeta { words: w, bytes: 40 })
+            .map(|w| GroupMeta {
+                words: w,
+                bytes: 40,
+            })
             .collect();
         let workload = wl(&[(&[1, 2, 3, 4], 3)]);
         let input = OptimizerInput {
@@ -590,7 +595,10 @@ mod tests {
         let groups_ws = [ws(&[1]), ws(&[1, 2])];
         let metas: Vec<GroupMeta> = groups_ws
             .iter()
-            .map(|w| GroupMeta { words: w, bytes: 40 })
+            .map(|w| GroupMeta {
+                words: w,
+                bytes: 40,
+            })
             .collect();
         let workload = wl(&[(&[1, 2], 100)]);
         let input = OptimizerInput {
@@ -686,15 +694,8 @@ mod tests {
             let full = remap_full(&input, true);
             full.validate(&sets, 8, false).unwrap();
             let identity = Mapping::identity(&sets);
-            let c_full = evaluate_mapping(
-                &sets,
-                &bytes,
-                &full,
-                &workload,
-                &CostModel::dram(),
-                8,
-                4096,
-            );
+            let c_full =
+                evaluate_mapping(&sets, &bytes, &full, &workload, &CostModel::dram(), 8, 4096);
             let c_id = evaluate_mapping(
                 &sets,
                 &bytes,

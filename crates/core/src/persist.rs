@@ -474,8 +474,11 @@ impl BroadMatchIndex {
         let max_locator_len = r.varint()? as usize;
 
         let n_exclusions = r.varint()? as usize;
-        let mut exclusions: std::collections::HashMap<crate::AdId, WordSet, crate::hash::FxBuildHasher> =
-            std::collections::HashMap::default();
+        let mut exclusions: std::collections::HashMap<
+            crate::AdId,
+            WordSet,
+            crate::hash::FxBuildHasher,
+        > = std::collections::HashMap::default();
         for _ in 0..n_exclusions {
             let ad = crate::AdId(r.varint()? as u32);
             exclusions.insert(ad, r.wordset()?);
@@ -515,11 +518,13 @@ mod tests {
     use crate::{AdInfo, IndexBuilder, MatchType};
 
     fn sample_index(directory: DirectoryKind, compress: bool) -> BroadMatchIndex {
-        let mut config = IndexConfig::default();
-        config.directory = directory;
-        config.compress_nodes = compress;
-        config.remap = RemapMode::Full;
-        config.max_words = 3;
+        let config = IndexConfig {
+            directory,
+            compress_nodes: compress,
+            remap: RemapMode::Full,
+            max_words: 3,
+            ..IndexConfig::default()
+        };
         let mut b = IndexBuilder::with_config(config);
         for i in 0..300u32 {
             let phrase = format!("shared{} word{} unique{}", i % 4, i % 30, i);
@@ -544,8 +549,16 @@ mod tests {
             "nothing here",
         ] {
             for mt in [MatchType::Broad, MatchType::Exact, MatchType::Phrase] {
-                let mut a: Vec<u64> = index.query(q, mt).iter().map(|h| h.info.listing_id).collect();
-                let mut b: Vec<u64> = loaded.query(q, mt).iter().map(|h| h.info.listing_id).collect();
+                let mut a: Vec<u64> = index
+                    .query(q, mt)
+                    .iter()
+                    .map(|h| h.info.listing_id)
+                    .collect();
+                let mut b: Vec<u64> = loaded
+                    .query(q, mt)
+                    .iter()
+                    .map(|h| h.info.listing_id)
+                    .collect();
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "query {q:?} ({mt:?})");
@@ -651,9 +664,6 @@ mod tests {
         maintained
             .insert("fresh phrase", AdInfo::with_bid(777, 30))
             .unwrap();
-        assert_eq!(
-            maintained.query("fresh phrase", MatchType::Broad).len(),
-            1
-        );
+        assert_eq!(maintained.query("fresh phrase", MatchType::Broad).len(), 1);
     }
 }

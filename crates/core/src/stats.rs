@@ -73,11 +73,7 @@ impl CorpusStats {
         if self.total_phrases == 0 {
             return 0.0;
         }
-        let upto: u64 = self
-            .length_histogram
-            .iter()
-            .take(k + 1)
-            .sum();
+        let upto: u64 = self.length_histogram.iter().take(k + 1).sum();
         upto as f64 / self.total_phrases as f64
     }
 
@@ -142,9 +138,7 @@ mod tests {
     fn keyword_frequencies_are_more_skewed_than_wordsets() {
         // "books" occurs everywhere; word sets are mostly unique. This is
         // the Fig. 7 phenomenon in miniature.
-        let phrases: Vec<String> = (0..100)
-            .map(|i| format!("books special{i}"))
-            .collect();
+        let phrases: Vec<String> = (0..100).map(|i| format!("books special{i}")).collect();
         let stats = CorpusStats::from_phrases(phrases.iter().map(|s| s.as_str()));
         assert_eq!(stats.keyword_frequencies[0], 100); // "books"
         assert_eq!(stats.wordset_frequencies[0], 1);

@@ -48,7 +48,9 @@ pub fn tokenize(text: &str) -> Vec<String> {
         .map(|t| {
             // Queries are overwhelmingly lowercase ASCII already; skip the
             // allocation-churny general path when possible.
-            if t.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()) {
+            if t.bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+            {
                 t.to_string()
             } else {
                 t.to_lowercase()
@@ -139,8 +141,20 @@ mod tests {
     fn fold_triple_occurrence() {
         let folded = fold_duplicates(&["a".into(), "b".into(), "a".into(), "a".into()]);
         assert_eq!(folded.len(), 2);
-        assert_eq!(folded[0], FoldedToken { word: "a".into(), count: 3 });
-        assert_eq!(folded[1], FoldedToken { word: "b".into(), count: 1 });
+        assert_eq!(
+            folded[0],
+            FoldedToken {
+                word: "a".into(),
+                count: 3
+            }
+        );
+        assert_eq!(
+            folded[1],
+            FoldedToken {
+                word: "b".into(),
+                count: 1
+            }
+        );
     }
 
     #[test]

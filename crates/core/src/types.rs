@@ -1,14 +1,11 @@
 //! Identifier and metadata types shared across the index.
 
-use serde::{Deserialize, Serialize};
-
 /// Interned word identifier assigned by a [`crate::Vocabulary`].
 ///
 /// Folded duplicate tokens (see [`crate::fold_duplicates`]) get their own
 /// ids, distinct from the base word's.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WordId(pub u32);
 
 impl WordId {
@@ -21,9 +18,8 @@ impl WordId {
 
 /// Identifier of one advertisement within an index (dense, assigned at
 /// build/insert time).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdId(pub u32);
 
 impl AdId {
@@ -41,7 +37,8 @@ impl AdId {
 /// when shared. We inline the fields that the evaluation's secondary
 /// filtering needs; their serialized size is what the cost model's
 /// `size(info(A_i))` measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdInfo {
     /// Listing identifier (external key chosen by the caller).
     pub listing_id: u64,

@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::hash::FxBuildHasher;
 use crate::text::{fold_duplicates, tokenize};
 use crate::{WordId, WordSet};
@@ -29,9 +27,10 @@ use crate::{WordId, WordSet};
 /// assert_eq!(vocab.resolve(a), Some("books"));
 /// assert_eq!(vocab.len(), 2);
 /// ```
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vocabulary {
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     map: HashMap<Box<str>, WordId, FxBuildHasher>,
     words: Vec<Box<str>>,
     /// Number of indexed phrases each word occurs in.

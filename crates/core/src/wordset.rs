@@ -1,7 +1,5 @@
 //! Canonical word sets and bounded subset enumeration (Section IV-B).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{wordhash, WordId};
 
 /// A canonical (sorted, duplicate-free) set of word ids — the paper's
@@ -19,7 +17,8 @@ use crate::{wordhash, WordId};
 /// assert!(a.is_subset_of(&b));
 /// assert!(!b.is_subset_of(&a));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WordSet(Box<[WordId]>);
 
 impl WordSet {
@@ -35,7 +34,10 @@ impl WordSet {
     /// # Panics
     /// Debug-panics if the invariant does not hold.
     pub fn from_sorted(ids: Vec<WordId>) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted+unique");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted+unique"
+        );
         WordSet(ids.into_boxed_slice())
     }
 
@@ -126,10 +128,7 @@ pub fn subset_count(q: usize, max_words: usize) -> u64 {
     let mut binom: u64 = 1; // C(q, 0)
     for i in 1..=k {
         // C(q, i) = C(q, i-1) * (q - i + 1) / i, exact in this order.
-        binom = match binom
-            .checked_mul((q - i + 1) as u64)
-            .map(|b| b / i as u64)
-        {
+        binom = match binom.checked_mul((q - i + 1) as u64).map(|b| b / i as u64) {
             Some(b) => b,
             None => return u64::MAX,
         };
@@ -191,7 +190,8 @@ impl<'a> SubsetIter<'a> {
             self.indices = (0..self.size).collect();
         }
         self.buffer.clear();
-        self.buffer.extend(self.indices.iter().map(|&i| self.ids[i]));
+        self.buffer
+            .extend(self.indices.iter().map(|&i| self.ids[i]));
         Some(&self.buffer)
     }
 

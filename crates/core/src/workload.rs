@@ -48,10 +48,8 @@ impl QueryWorkload {
             let tokens = crate::tokenize(text);
             let folded = crate::fold_duplicates(&tokens);
             let total_len = folded.len();
-            let known: Vec<crate::WordId> = folded
-                .iter()
-                .filter_map(|t| vocab.get(&t.key()))
-                .collect();
+            let known: Vec<crate::WordId> =
+                folded.iter().filter_map(|t| vocab.get(&t.key())).collect();
             queries.push(WeightedQuery {
                 set: WordSet::from_unsorted(known),
                 total_len,

@@ -1,5 +1,7 @@
 //! Property tests over the match-type semantics lattice and index
-//! statistics.
+//! statistics. Opt-in: `cargo test --features proptest-tests`.
+
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 
@@ -14,10 +16,12 @@ fn phrase_from(words: &[u8]) -> String {
 }
 
 fn build(ads: &[(String, AdInfo)], remap: RemapMode) -> broadmatch::BroadMatchIndex {
-    let mut config = IndexConfig::default();
-    config.remap = remap;
-    config.max_words = 3;
-    config.probe_cap = 1 << 20;
+    let config = IndexConfig {
+        remap,
+        max_words: 3,
+        probe_cap: 1 << 20,
+        ..IndexConfig::default()
+    };
     let mut builder = IndexBuilder::with_config(config);
     for (p, i) in ads {
         builder.add(p, *i).expect("valid phrase");

@@ -1,15 +1,14 @@
 //! The synthetic advertisement corpus generator.
 
 use broadmatch::AdInfo;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use broadmatch_rng::{Pcg32, RandomSource};
 
 use crate::vocabgen::word_string;
 use crate::zipf::{zipf_counts, ZipfSampler};
 
 /// Configuration for [`AdCorpus::generate`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorpusConfig {
     /// Target number of advertisements (actual count may differ by rounding
     /// of the per-word-set deal-out; see [`AdCorpus::len`]).
@@ -38,14 +37,14 @@ impl CorpusConfig {
     /// The Fig. 1-calibrated length weights for bid phrases.
     pub fn paper_length_weights() -> Vec<f64> {
         vec![
-            0.080, // 1 word
-            0.220, // 2
-            0.320, // 3  <- peak; cumulative 62%
-            0.220, // 4
-            0.120, // 5  <- cumulative 96%
-            0.025, // 6
-            0.009, // 7
-            0.004, // 8  <- cumulative 99.8%
+            0.080,  // 1 word
+            0.220,  // 2
+            0.320,  // 3  <- peak; cumulative 62%
+            0.220,  // 4
+            0.120,  // 5  <- cumulative 96%
+            0.025,  // 6
+            0.009,  // 7
+            0.004,  // 8  <- cumulative 99.8%
             0.0012, // 9
             0.0005, // 10
             0.0002, // 11
@@ -88,7 +87,8 @@ impl CorpusConfig {
 }
 
 /// One generated advertisement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneratedAd {
     /// The bid phrase.
     pub phrase: String,
@@ -97,7 +97,8 @@ pub struct GeneratedAd {
 }
 
 /// A generated corpus of advertisements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdCorpus {
     ads: Vec<GeneratedAd>,
     /// Distinct word-set phrases (canonical word order), one per set —
@@ -120,7 +121,7 @@ impl AdCorpus {
     pub fn generate(config: CorpusConfig) -> Self {
         assert!(config.n_ads > 0 && config.distinct_wordsets > 0 && config.vocab_size > 0);
         assert!(!config.length_weights.is_empty());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let mut rng = Pcg32::seed_from_u64(config.seed);
         let word_sampler = ZipfSampler::new(config.vocab_size, config.word_zipf);
 
         // Length CDF.
@@ -136,7 +137,7 @@ impl AdCorpus {
         let mut seen = std::collections::HashSet::with_capacity(config.distinct_wordsets);
         let mut wordsets: Vec<Vec<u64>> = Vec::with_capacity(config.distinct_wordsets);
         while wordsets.len() < config.distinct_wordsets {
-            let u: f64 = rng.gen();
+            let u = rng.gen_f64();
             let len = len_cdf.partition_point(|&c| c < u) + 1;
             let len = len.min(config.vocab_size);
             let mut words = std::collections::BTreeSet::new();
@@ -166,7 +167,7 @@ impl AdCorpus {
             config.distinct_wordsets,
             config.wordset_zipf,
         );
-        counts.shuffle(&mut rng);
+        rng.shuffle(&mut counts);
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let total_ads: u64 = counts.iter().sum();
 
@@ -187,7 +188,7 @@ impl AdCorpus {
             by_len[set.len().min(max_len)].push(i);
         }
         for lst in &mut by_len {
-            lst.shuffle(&mut rng);
+            rng.shuffle(lst);
         }
         let mut assigned_counts: Vec<u64> = vec![0; wordsets.len()];
         for &count in &counts {
@@ -215,12 +216,12 @@ impl AdCorpus {
             wordset_phrases.push(canonical.join(" "));
             for _ in 0..count {
                 let mut words = canonical.clone();
-                if rng.gen::<f64>() < config.reorder_fraction {
-                    words.shuffle(&mut rng);
+                if rng.gen_f64() < config.reorder_fraction {
+                    rng.shuffle(&mut words);
                 }
                 // Bid prices: heavy-tailed around a small mode, like real
                 // keyword auctions.
-                let bid_cents = (10.0 + 90.0 * rng.gen::<f64>().powi(3) * 10.0) as u32;
+                let bid_cents = (10.0 + 90.0 * rng.gen_f64().powi(3) * 10.0) as u32;
                 ads.push(GeneratedAd {
                     phrase: words.join(" "),
                     info: AdInfo {
@@ -232,7 +233,7 @@ impl AdCorpus {
                 listing += 1;
             }
         }
-        ads.shuffle(&mut rng);
+        rng.shuffle(&mut ads);
 
         AdCorpus {
             ads,

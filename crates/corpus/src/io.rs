@@ -50,7 +50,10 @@ impl AdCorpus {
     /// # Errors
     /// Propagates I/O failures.
     pub fn save_tsv<W: Write>(&self, writer: &mut W) -> Result<(), CorpusIoError> {
-        writeln!(writer, "# broadmatch ad corpus v1: phrase\tlisting\tcampaign\tbid_micros")?;
+        writeln!(
+            writer,
+            "# broadmatch ad corpus v1: phrase\tlisting\tcampaign\tbid_micros"
+        )?;
         for ad in self.ads() {
             writeln!(
                 writer,
@@ -84,27 +87,30 @@ impl AdCorpus {
                     reason: "missing phrase",
                 })?
                 .to_string();
-            let listing_id = parts
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or(CorpusIoError::Parse {
-                    line: line_no,
-                    reason: "bad listing id",
-                })?;
-            let campaign_id = parts
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or(CorpusIoError::Parse {
-                    line: line_no,
-                    reason: "bad campaign id",
-                })?;
-            let bid_micros = parts
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or(CorpusIoError::Parse {
-                    line: line_no,
-                    reason: "bad bid",
-                })?;
+            let listing_id =
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CorpusIoError::Parse {
+                        line: line_no,
+                        reason: "bad listing id",
+                    })?;
+            let campaign_id =
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CorpusIoError::Parse {
+                        line: line_no,
+                        reason: "bad campaign id",
+                    })?;
+            let bid_micros =
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CorpusIoError::Parse {
+                        line: line_no,
+                        reason: "bad bid",
+                    })?;
             ads.push(GeneratedAd {
                 phrase,
                 info: AdInfo {

@@ -6,7 +6,7 @@
 //! to length 7+), which is why suffix-tree/array indexes make sense for MT
 //! but not for broad match.
 
-use rand::{Rng, SeedableRng};
+use broadmatch_rng::{Pcg32, RandomSource};
 
 use crate::vocabgen::word_string;
 use crate::zipf::ZipfSampler;
@@ -44,7 +44,7 @@ impl MtPhraseGenerator {
 
     /// Produce `n` phrases.
     pub fn generate(&self, n: usize) -> Vec<String> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ 0x4D54_5054);
+        let mut rng = Pcg32::seed_from_u64(self.seed ^ 0x4D54_5054);
         let word_sampler = ZipfSampler::new(self.vocab_size, 1.0);
         let weights = mt_length_weights();
         let total: f64 = weights.iter().sum();
@@ -56,7 +56,7 @@ impl MtPhraseGenerator {
         }
         (0..n)
             .map(|_| {
-                let u: f64 = rng.gen();
+                let u = rng.gen_f64();
                 let len = cdf.partition_point(|&c| c < u) + 1;
                 (0..len)
                     .map(|_| word_string(word_sampler.sample(&mut rng) as u64))

@@ -1,15 +1,14 @@
 //! Synthetic query workloads (the paper's 5M-query web-trace stand-in).
 
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use broadmatch_rng::{Pcg32, RandomSource};
 
 use crate::vocabgen::word_string;
 use crate::zipf::ZipfSampler;
 use crate::AdCorpus;
 
 /// Configuration for [`Workload::generate`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QueryGenConfig {
     /// Number of distinct queries.
     pub distinct_queries: usize,
@@ -55,7 +54,8 @@ impl QueryGenConfig {
 
 /// A synthetic query workload: distinct weighted queries, plus trace
 /// sampling for throughput experiments.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Workload {
     entries: Vec<(String, u64)>,
     config: QueryGenConfig,
@@ -70,7 +70,7 @@ impl Workload {
     /// order so popularity and match-behavior are independent.
     pub fn generate(config: QueryGenConfig, corpus: &AdCorpus) -> Self {
         assert!(config.distinct_queries > 0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0xBADC_0FFE);
+        let mut rng = Pcg32::seed_from_u64(config.seed ^ 0xBADC_0FFE);
         let vocab_size = corpus.config().vocab_size;
         let word_sampler = ZipfSampler::new(vocab_size, 1.0);
         let seeds = corpus.wordset_phrases();
@@ -83,19 +83,18 @@ impl Workload {
             if guard > config.distinct_queries * 50 {
                 break; // tiny corpora cannot yield enough distinct queries
             }
-            let text = if !seeds.is_empty() && rng.gen::<f64>() < config.superset_fraction {
-                let base = seeds.choose(&mut rng).expect("non-empty");
-                let mut words: Vec<String> =
-                    base.split_whitespace().map(str::to_string).collect();
-                let extra = rng.gen_range(0..=config.max_extra_words);
+            let text = if !seeds.is_empty() && rng.gen_f64() < config.superset_fraction {
+                let base = rng.choose(seeds).expect("non-empty");
+                let mut words: Vec<String> = base.split_whitespace().map(str::to_string).collect();
+                let extra = rng.gen_range_inclusive(0..=config.max_extra_words);
                 for _ in 0..extra {
                     words.push(word_string(word_sampler.sample(&mut rng) as u64));
                 }
-                words.shuffle(&mut rng);
+                rng.shuffle(&mut words);
                 words.join(" ")
             } else {
                 let (lo, hi) = config.noise_len;
-                let len = rng.gen_range(lo..=hi.max(lo));
+                let len = rng.gen_range_inclusive(lo..=hi.max(lo));
                 (0..len)
                     .map(|_| word_string(word_sampler.sample(&mut rng) as u64))
                     .collect::<Vec<_>>()
@@ -109,7 +108,7 @@ impl Workload {
         // Zipf frequencies over shuffled ranks.
         let freq_sampler = ZipfSampler::new(texts.len(), config.freq_zipf);
         let mut freqs = freq_sampler.expected_counts(texts.len() as u64 * 100, 1);
-        freqs.shuffle(&mut rng);
+        rng.shuffle(&mut freqs);
         let entries = texts.into_iter().zip(freqs).collect();
         Workload { entries, config }
     }
@@ -122,6 +121,11 @@ impl Workload {
     /// The distinct `(query, frequency)` pairs.
     pub fn entries(&self) -> &[(String, u64)] {
         &self.entries
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &QueryGenConfig {
+        &self.config
     }
 
     /// Number of distinct queries.
@@ -143,7 +147,7 @@ impl Workload {
     /// equivalent of the paper's web trace.
     pub fn sample_trace(&self, n: usize, seed: u64) -> Vec<&str> {
         assert!(!self.entries.is_empty());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
         // CDF over frequencies.
         let mut cdf = Vec::with_capacity(self.entries.len());
         let mut acc = 0u64;
@@ -153,7 +157,7 @@ impl Workload {
         }
         (0..n)
             .map(|_| {
-                let u = rng.gen_range(0..acc);
+                let u = rng.gen_index(acc as usize) as u64;
                 let i = cdf.partition_point(|&c| c <= u);
                 self.entries[i].0.as_str()
             })
@@ -209,7 +213,12 @@ mod tests {
         let (_, wl) = setup();
         let mut freqs: Vec<u64> = wl.entries().iter().map(|&(_, f)| f).collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
-        assert!(freqs[0] > 20 * freqs[400], "head {} tail {}", freqs[0], freqs[400]);
+        assert!(
+            freqs[0] > 20 * freqs[400],
+            "head {} tail {}",
+            freqs[0],
+            freqs[400]
+        );
     }
 
     #[test]
@@ -218,11 +227,7 @@ mod tests {
         let trace = wl.sample_trace(20_000, 9);
         assert_eq!(trace.len(), 20_000);
         // The most frequent query appears far more often than a random one.
-        let (top_q, _) = wl
-            .entries()
-            .iter()
-            .max_by_key(|&&(_, f)| f)
-            .unwrap();
+        let (top_q, _) = wl.entries().iter().max_by_key(|&&(_, f)| f).unwrap();
         let top_count = trace.iter().filter(|&&q| q == top_q).count();
         assert!(top_count > 100, "top query sampled only {top_count} times");
     }

@@ -2,8 +2,8 @@
 
 /// Consonant-vowel syllables used to synthesize pronounceable words.
 const SYLLABLES: [&str; 24] = [
-    "ba", "be", "bo", "da", "de", "di", "ka", "ke", "ko", "la", "le", "lu", "ma", "me", "mi",
-    "na", "no", "nu", "ra", "re", "ro", "sa", "se", "to",
+    "ba", "be", "bo", "da", "de", "di", "ka", "ke", "ko", "la", "le", "lu", "ma", "me", "mi", "na",
+    "no", "nu", "ra", "re", "ro", "sa", "se", "to",
 ];
 
 /// The synthetic word with the given id: a base-24 syllable spelling, so

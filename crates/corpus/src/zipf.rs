@@ -1,6 +1,6 @@
 //! A seeded Zipf sampler over ranks.
 
-use rand::Rng;
+use broadmatch_rng::RandomSource;
 
 /// Samples ranks `0..n` with probability proportional to
 /// `1 / (rank + 1)^exponent` — the long-tail law the paper observes for
@@ -13,10 +13,10 @@ use rand::Rng;
 ///
 /// ```
 /// use broadmatch_corpus::ZipfSampler;
-/// use rand::SeedableRng;
+/// use broadmatch_rng::Pcg32;
 ///
 /// let zipf = ZipfSampler::new(1000, 1.0);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = Pcg32::seed_from_u64(7);
 /// let r = zipf.sample(&mut rng);
 /// assert!(r < 1000);
 /// ```
@@ -56,8 +56,8 @@ impl ZipfSampler {
     }
 
     /// Draw one rank in `0..n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
@@ -107,12 +107,7 @@ pub fn zipf_counts(total: u64, ranks: usize, exponent: f64) -> Vec<u64> {
     assert!(ranks > 0);
     assert!(total as usize >= ranks, "need at least one item per rank");
     let weights: Vec<f64> = (1..=ranks).map(|i| (i as f64).powf(-exponent)).collect();
-    let sum_for = |a: f64| -> f64 {
-        weights
-            .iter()
-            .map(|&w| (a * w).round().max(1.0))
-            .sum()
-    };
+    let sum_for = |a: f64| -> f64 { weights.iter().map(|&w| (a * w).round().max(1.0)).sum() };
     let (mut lo, mut hi) = (0.0f64, total as f64 * 2.0);
     for _ in 0..60 {
         let mid = (lo + hi) / 2.0;
@@ -131,7 +126,7 @@ pub fn zipf_counts(total: u64, ranks: usize, exponent: f64) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use broadmatch_rng::Pcg32;
 
     #[test]
     fn pmf_sums_to_one() {
@@ -158,7 +153,7 @@ mod tests {
     #[test]
     fn empirical_frequencies_track_pmf() {
         let z = ZipfSampler::new(50, 1.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = Pcg32::seed_from_u64(42);
         let mut counts = vec![0u64; 50];
         let n = 200_000;
         for _ in 0..n {
@@ -181,7 +176,7 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let z = ZipfSampler::new(100, 1.0);
         let draw = |seed| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = Pcg32::seed_from_u64(seed);
             (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
         };
         assert_eq!(draw(1), draw(1));

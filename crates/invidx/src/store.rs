@@ -42,13 +42,7 @@ pub struct PhraseStore {
 impl PhraseStore {
     /// Add an ad, grouping it under its distinct `(word set, raw order)`
     /// phrase. Returns the record index.
-    pub(crate) fn add(
-        &mut self,
-        words: WordSet,
-        raw: Vec<WordId>,
-        ad: AdId,
-        info: AdInfo,
-    ) -> u32 {
+    pub(crate) fn add(&mut self, words: WordSet, raw: Vec<WordId>, ad: AdId, info: AdInfo) -> u32 {
         if let Some(&i) = self.dedupe.get(&(words.clone(), raw.clone())) {
             self.recs[i as usize].ads.push((ad, info));
             return i;
@@ -129,9 +123,24 @@ mod tests {
     #[test]
     fn add_groups_identical_phrases() {
         let mut s = PhraseStore::default();
-        let a = s.add(ws(&[1, 2]), vec![WordId(2), WordId(1)], AdId(0), AdInfo::default());
-        let b = s.add(ws(&[1, 2]), vec![WordId(2), WordId(1)], AdId(1), AdInfo::default());
-        let c = s.add(ws(&[1, 2]), vec![WordId(1), WordId(2)], AdId(2), AdInfo::default());
+        let a = s.add(
+            ws(&[1, 2]),
+            vec![WordId(2), WordId(1)],
+            AdId(0),
+            AdInfo::default(),
+        );
+        let b = s.add(
+            ws(&[1, 2]),
+            vec![WordId(2), WordId(1)],
+            AdId(1),
+            AdInfo::default(),
+        );
+        let c = s.add(
+            ws(&[1, 2]),
+            vec![WordId(1), WordId(2)],
+            AdId(2),
+            AdInfo::default(),
+        );
         assert_eq!(a, b);
         assert_ne!(a, c, "different raw order is a different record");
         assert_eq!(s.len(), 2);
@@ -140,7 +149,12 @@ mod tests {
     #[test]
     fn verify_broad_matches_subsets_only() {
         let mut s = PhraseStore::default();
-        let rec = s.add(ws(&[1, 2]), vec![WordId(1), WordId(2)], AdId(7), AdInfo::with_bid(9, 5));
+        let rec = s.add(
+            ws(&[1, 2]),
+            vec![WordId(1), WordId(2)],
+            AdId(7),
+            AdInfo::with_bid(9, 5),
+        );
         let mut hits = Vec::new();
         let mut t = NullTracker;
         s.verify_broad(rec, &ws(&[1, 2, 3]), &mut t, &mut hits);
@@ -154,7 +168,12 @@ mod tests {
     #[test]
     fn verify_accounts_bytes() {
         let mut s = PhraseStore::default();
-        let rec = s.add(ws(&[1, 2]), vec![WordId(1), WordId(2)], AdId(0), AdInfo::default());
+        let rec = s.add(
+            ws(&[1, 2]),
+            vec![WordId(1), WordId(2)],
+            AdId(0),
+            AdInfo::default(),
+        );
         let mut t = CountingTracker::new();
         let mut hits = Vec::new();
         // Miss: only the word ids are read.

@@ -135,8 +135,7 @@ impl UnmodifiedInvertedIndex {
                 self.store.verify_broad(rec, &query_set, tracker, &mut hits);
             }
         }
-        hits
-            .into_iter()
+        hits.into_iter()
             .map(|(ad, info)| MatchHit { ad, info })
             .collect()
     }
@@ -209,12 +208,9 @@ mod tests {
 
     #[test]
     fn non_redundant_one_posting_per_phrase() {
-        let index = UnmodifiedInvertedIndex::build(&ads(&[
-            "alpha beta",
-            "alpha gamma",
-            "alpha delta",
-        ]))
-        .unwrap();
+        let index =
+            UnmodifiedInvertedIndex::build(&ads(&["alpha beta", "alpha gamma", "alpha delta"]))
+                .unwrap();
         let total: usize = index.postings.values().map(Vec::len).sum();
         assert_eq!(total, 3, "each distinct phrase indexed exactly once");
         // "alpha" occurs in 3 phrases, the others in 1: never the rarest.
@@ -229,8 +225,7 @@ mod tests {
 
     #[test]
     fn tracked_query_reads_posting_and_phrase_bytes() {
-        let index =
-            UnmodifiedInvertedIndex::build(&ads(&["used books", "rare books"])).unwrap();
+        let index = UnmodifiedInvertedIndex::build(&ads(&["used books", "rare books"])).unwrap();
         let mut t = broadmatch_memcost::CountingTracker::new();
         index.query_broad_tracked("rare used books", &mut t);
         assert!(t.random_accesses >= 2, "posting list + phrase accesses");

@@ -1,4 +1,7 @@
 //! Property tests on the baselines' structural invariants.
+//! Opt-in: `cargo test --features proptest-tests`.
+
+#![cfg(feature = "proptest-tests")]
 
 use broadmatch::AdInfo;
 use broadmatch_invidx::{ModifiedInvertedIndex, UnmodifiedInvertedIndex};

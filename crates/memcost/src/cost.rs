@@ -138,6 +138,9 @@ mod tests {
 
     #[test]
     fn disk_like_packs_more() {
-        assert!(CostModel::disk_like().break_even_scan_bytes() > CostModel::dram().break_even_scan_bytes());
+        assert!(
+            CostModel::disk_like().break_even_scan_bytes()
+                > CostModel::dram().break_even_scan_bytes()
+        );
     }
 }

@@ -70,7 +70,10 @@ impl Cache {
     /// Panics if `line_bytes` is not a power of two or the geometry does not
     /// divide evenly into sets.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.associativity >= 1);
         let lines = config.size_bytes / config.line_bytes;
         assert!(
@@ -536,8 +539,7 @@ mod tests {
         let mut seq = HwSimTracker::default();
         for pass in 0..5u64 {
             for i in 0..10_000u64 {
-                let scattered =
-                    ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) % (512 * 1024)) & !7;
+                let scattered = ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) % (512 * 1024)) & !7;
                 rnd.random_access(scattered, 8);
                 seq.sequential_read((pass * 10_000 + i) % 65_536 * 8, 8);
             }

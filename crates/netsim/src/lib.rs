@@ -24,5 +24,5 @@ mod des;
 mod model;
 
 pub use des::EventQueue;
-pub use model::{LatencyHistogram, ServiceDist, SimReport, TwoServerConfig};
 pub use model::{run_simulation, saturate};
+pub use model::{LatencyHistogram, ServiceDist, SimReport, TwoServerConfig};

@@ -1,6 +1,6 @@
 //! The two-server queueing model and its reports.
 
-use rand::{Rng, SeedableRng};
+use broadmatch_rng::{Pcg32, RandomSource};
 
 use crate::des::EventQueue;
 
@@ -32,13 +32,41 @@ impl ServiceDist {
         Self::from_samples(vec![ms])
     }
 
+    /// Build from fixed-width histogram bucket counts, each bucket
+    /// contributing its midpoint weighted by its count — the calibration
+    /// path from a measured serving-latency histogram (e.g. the per-shard
+    /// histograms `broadmatch-serve` collects in the same 5 ms buckets this
+    /// simulator reports) into the simulator. Prefer [`Self::from_samples`]
+    /// with raw measurements when they are available; midpoints quantize.
+    ///
+    /// # Panics
+    /// Panics if the counts are all zero or `bucket_ms` is non-positive.
+    pub fn from_bucket_counts(bucket_ms: f64, counts: &[u64]) -> Self {
+        assert!(bucket_ms > 0.0, "bucket width must be positive");
+        let total: u64 = counts.iter().sum();
+        assert!(total > 0, "need at least one recorded completion");
+        // Cap the pool so huge histograms don't inflate memory: scale counts
+        // down proportionally but keep every non-empty bucket represented.
+        let scale = (total as f64 / 4096.0).max(1.0);
+        let mut samples = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let n = ((c as f64 / scale).round() as usize).max(1);
+            let midpoint = (i as f64 + 0.5) * bucket_ms;
+            samples.extend(std::iter::repeat_n(midpoint, n));
+        }
+        Self::from_samples(samples)
+    }
+
     /// Mean of the pool.
     pub fn mean(&self) -> f64 {
         self.samples.iter().sum::<f64>() / self.samples.len() as f64
     }
 
-    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        self.samples[rng.gen_range(0..self.samples.len())]
+    fn draw<R: RandomSource + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.samples[rng.gen_index(self.samples.len())]
     }
 }
 
@@ -197,7 +225,12 @@ impl Station {
 
     /// Offer `q` to the station; start service if a worker is free.
     /// Returns the service time if started.
-    fn offer<R: Rng + ?Sized>(&mut self, q: u32, dist: &ServiceDist, rng: &mut R) -> Option<f64> {
+    fn offer<R: RandomSource + ?Sized>(
+        &mut self,
+        q: u32,
+        dist: &ServiceDist,
+        rng: &mut R,
+    ) -> Option<f64> {
         if self.busy < self.workers {
             self.busy += 1;
             let s = dist.draw(rng);
@@ -211,7 +244,11 @@ impl Station {
 
     /// A worker finished; pull the next waiting query if any. Returns
     /// `(query, service_time)` if a new service starts.
-    fn release<R: Rng + ?Sized>(&mut self, dist: &ServiceDist, rng: &mut R) -> Option<(u32, f64)> {
+    fn release<R: RandomSource + ?Sized>(
+        &mut self,
+        dist: &ServiceDist,
+        rng: &mut R,
+    ) -> Option<(u32, f64)> {
         self.busy -= 1;
         let q = self.waiting.pop_front()?;
         self.busy += 1;
@@ -229,7 +266,7 @@ impl Station {
 pub fn run_simulation(config: &TwoServerConfig, arrival_qps: f64, n_queries: u32) -> SimReport {
     assert!(config.index_workers > 0 && config.ad_workers > 0);
     assert!(arrival_qps > 0.0 && n_queries > 0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut rng = Pcg32::seed_from_u64(config.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
 
     // Poisson arrivals; each query first crosses the network to the index
@@ -291,20 +328,15 @@ pub fn run_simulation(config: &TwoServerConfig, arrival_qps: f64, n_queries: u32
     SimReport {
         completed,
         throughput_qps: completed as f64 / (makespan_ms / 1000.0),
-        index_cpu_util: (index.busy_time_ms / (makespan_ms * config.index_workers as f64))
-            .min(1.0),
+        index_cpu_util: (index.busy_time_ms / (makespan_ms * config.index_workers as f64)).min(1.0),
         ad_cpu_util: (ad.busy_time_ms / (makespan_ms * config.ad_workers as f64)).min(1.0),
         mean_latency_ms: total_latency / completed.max(1) as f64,
         latency,
     }
 }
 
-fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
-    if mean <= 0.0 {
-        return 0.0;
-    }
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    -mean * u.ln()
+fn exp_sample<R: RandomSource + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    rng.gen_exp(mean)
 }
 
 /// Search for the operating point the paper loads its servers to ("we set
@@ -320,8 +352,7 @@ pub fn saturate(config: &TwoServerConfig, n_queries: u32, plateau_pct: f64) -> S
         rate *= 2.0;
         let next = run_simulation(config, rate, n_queries);
         let improved = next.throughput_qps > best.throughput_qps;
-        let plateaued =
-            next.throughput_qps < best.throughput_qps * (1.0 + plateau_pct / 100.0);
+        let plateaued = next.throughput_qps < best.throughput_qps * (1.0 + plateau_pct / 100.0);
         if improved {
             best = next;
         }
@@ -361,7 +392,11 @@ mod tests {
         let r = run_simulation(&config(1.0, 2), 10.0, 1_000);
         let floor = 3.0 * 2.0 + 1.0 + 0.5;
         assert!(r.mean_latency_ms >= floor - 1e-9);
-        assert!(r.mean_latency_ms < floor + 1.0, "mean {}", r.mean_latency_ms);
+        assert!(
+            r.mean_latency_ms < floor + 1.0,
+            "mean {}",
+            r.mean_latency_ms
+        );
     }
 
     #[test]
@@ -387,7 +422,11 @@ mod tests {
             "throughput {}",
             r.throughput_qps
         );
-        assert!(r.index_cpu_util > 0.9, "bottleneck near 100%: {}", r.index_cpu_util);
+        assert!(
+            r.index_cpu_util > 0.9,
+            "bottleneck near 100%: {}",
+            r.index_cpu_util
+        );
     }
 
     #[test]
@@ -404,9 +443,7 @@ mod tests {
         let fast_fixed = run_simulation(&config(0.5, 6), rate, 30_000);
         assert!(fast_fixed.index_cpu_util < 0.6 * slow_fixed.index_cpu_util);
         assert!(fast_fixed.mean_latency_ms < slow_fixed.mean_latency_ms);
-        assert!(
-            fast_fixed.latency.fraction_below(10.0) > slow_fixed.latency.fraction_below(10.0)
-        );
+        assert!(fast_fixed.latency.fraction_below(10.0) > slow_fixed.latency.fraction_below(10.0));
     }
 
     #[test]
@@ -455,10 +492,23 @@ mod tests {
     fn service_dist_sampling() {
         let d = ServiceDist::from_samples(vec![1.0, 3.0]);
         assert_eq!(d.mean(), 2.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = Pcg32::seed_from_u64(0);
         for _ in 0..100 {
             let s = d.draw(&mut rng);
             assert!(s == 1.0 || s == 3.0);
+        }
+    }
+
+    #[test]
+    fn service_dist_from_bucket_counts() {
+        // Buckets of 5 ms: 3 completions in [0,5), 1 in [10,15).
+        let d = ServiceDist::from_bucket_counts(5.0, &[3, 0, 1]);
+        // Pool is {2.5, 2.5, 2.5, 12.5}: mean 5.0.
+        assert!((d.mean() - 5.0).abs() < 1e-9, "mean {}", d.mean());
+        let mut rng = Pcg32::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = d.draw(&mut rng);
+            assert!(s == 2.5 || s == 12.5);
         }
     }
 }

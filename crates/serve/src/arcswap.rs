@@ -1,0 +1,182 @@
+//! Atomic `Arc` swap: RCU-style snapshot publication.
+//!
+//! Readers take **zero locks** — a load is two atomic RMWs and one atomic
+//! load, wait-free with respect to writers. Writers swap in a new snapshot
+//! and reclaim the old one only after every in-flight reader has secured
+//! its own reference.
+//!
+//! # Protocol
+//!
+//! The cell holds one strong reference to the current snapshot via a raw
+//! pointer obtained from [`Arc::into_raw`], plus a count of readers that
+//! are *mid-load* (between announcing themselves and securing their own
+//! strong reference).
+//!
+//! - **Load**: increment `readers`, read the pointer, bump the snapshot's
+//!   strong count ([`Arc::increment_strong_count`]), decrement `readers`,
+//!   and wrap the secured reference with [`Arc::from_raw`].
+//! - **Store**: swap the pointer, then spin until `readers == 0`, then drop
+//!   the cell's strong reference to the old snapshot.
+//!
+//! The spin makes reclamation safe: a reader that observed the *old*
+//! pointer is, by construction, counted in `readers` until after it bumped
+//! the old snapshot's strong count. Once the writer sees `readers == 0`
+//! (after the swap), every such reader holds its own reference, so dropping
+//! the cell's reference can at worst decrement the count to the number of
+//! outstanding reader `Arc`s — never to zero early. Readers arriving after
+//! the swap see the new pointer and never touch the old snapshot.
+//!
+//! `SeqCst` is used throughout: publication is rare (index rebuilds), so
+//! the cost is irrelevant, and the protocol's correctness argument reads
+//! off a single total order.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// A cell holding an `Arc<T>` that can be atomically replaced while being
+/// read from any number of threads, none of which take a lock.
+pub struct ArcSwap<T> {
+    ptr: AtomicPtr<T>,
+    /// Readers currently between announce and secure (see module docs).
+    readers: AtomicUsize,
+}
+
+// The cell owns an Arc<T> and hands out clones across threads.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Create a cell holding `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        ArcSwap {
+            ptr: AtomicPtr::new(Arc::into_raw(initial) as *mut T),
+            readers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Take a snapshot: a strong reference to the currently published
+    /// value. Wait-free; never blocks on or observes a writer mid-publish
+    /// (it sees either the old or the new snapshot, fully formed).
+    pub fn load(&self) -> Arc<T> {
+        self.readers.fetch_add(1, SeqCst);
+        let ptr = self.ptr.load(SeqCst);
+        // SAFETY: `ptr` came from Arc::into_raw and its strong count cannot
+        // reach zero while we are announced in `readers`: the writer only
+        // drops the cell's reference after the swap AND after observing
+        // readers == 0, and our increment happened before we read `ptr`.
+        unsafe { Arc::increment_strong_count(ptr) };
+        self.readers.fetch_sub(1, SeqCst);
+        // SAFETY: we own the strong count secured just above.
+        unsafe { Arc::from_raw(ptr) }
+    }
+
+    /// Publish `new`, returning the previously published snapshot.
+    ///
+    /// Blocks (spinning) only until concurrent `load`s that began before
+    /// the swap have secured their references — a window of a few
+    /// instructions per reader, not the lifetime of their snapshot use.
+    pub fn store(&self, new: Arc<T>) -> Arc<T> {
+        let old = self.ptr.swap(Arc::into_raw(new) as *mut T, SeqCst);
+        // Wait out readers that may have observed `old` but not yet secured
+        // their strong count. New readers see the new pointer, so this
+        // terminates as soon as the (tiny) in-flight window drains.
+        let mut spins = 0u32;
+        while self.readers.load(SeqCst) != 0 {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: `old` came from Arc::into_raw; per the argument above,
+        // every thread still using it holds its own strong reference, so
+        // reclaiming the cell's reference is an ordinary Arc drop.
+        unsafe { Arc::from_raw(old) }
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access (`&mut self`); release the cell's
+        // strong reference.
+        unsafe { drop(Arc::from_raw(self.ptr.load(SeqCst))) };
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("value", &self.load())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct DropCounter(Arc<AtomicUsize>, u64);
+
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, SeqCst);
+        }
+    }
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = ArcSwap::new(Arc::new(41u64));
+        assert_eq!(*cell.load(), 41);
+        let old = cell.store(Arc::new(42));
+        assert_eq!(*old, 41);
+        assert_eq!(*cell.load(), 42);
+    }
+
+    #[test]
+    fn every_snapshot_is_reclaimed_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = ArcSwap::new(Arc::new(DropCounter(drops.clone(), 0)));
+        for v in 1..100u64 {
+            let held = cell.load();
+            drop(cell.store(Arc::new(DropCounter(drops.clone(), v))));
+            assert_eq!(held.1, v - 1, "load sees the pre-publish snapshot");
+        }
+        drop(cell);
+        assert_eq!(drops.load(SeqCst), 100);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_or_freed_state() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(ArcSwap::new(Arc::new(DropCounter(drops.clone(), 0))));
+        let stop = Arc::new(AtomicUsize::new(0));
+        const VERSIONS: u64 = 500;
+
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    while stop.load(SeqCst) == 0 {
+                        let snap = cell.load();
+                        // Published versions are monotone; a torn or stale
+                        // read after a newer one would go backwards.
+                        assert!(snap.1 >= last, "version went backwards");
+                        last = snap.1;
+                    }
+                });
+            }
+            for v in 1..=VERSIONS {
+                drop(cell.store(Arc::new(DropCounter(drops.clone(), v))));
+            }
+            stop.store(1, SeqCst);
+        });
+
+        // All superseded snapshots are gone; only the live one remains.
+        assert_eq!(drops.load(SeqCst), VERSIONS as usize);
+        assert_eq!(cell.load().1, VERSIONS);
+    }
+}

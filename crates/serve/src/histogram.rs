@@ -1,0 +1,216 @@
+//! Latency histograms in the same 5 ms buckets the network simulator
+//! reports (paper Fig. 9), plus a raw-sample reservoir so measured service
+//! times can seed `broadmatch-netsim`'s empirical service distribution.
+
+use broadmatch_rng::{Pcg32, RandomSource};
+
+/// Default bucket width — matches `broadmatch-netsim`'s reporting buckets.
+pub const DEFAULT_BUCKET_MS: f64 = 5.0;
+
+/// Raw samples kept for calibration (reservoir-sampled beyond this).
+const RESERVOIR_CAP: usize = 4096;
+
+/// A fixed-width latency histogram with an overflow bucket and a uniform
+/// reservoir of raw samples.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    bucket_ms: f64,
+    /// `counts[i]` covers `[i*bucket_ms, (i+1)*bucket_ms)`; the last slot
+    /// is the overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum_ms: f64,
+    max_ms: f64,
+    reservoir: Vec<f64>,
+    rng: Pcg32,
+}
+
+impl LatencyHistogram {
+    /// A histogram with `buckets` regular buckets of `bucket_ms` width
+    /// (plus one overflow bucket).
+    pub fn new(bucket_ms: f64, buckets: usize) -> Self {
+        assert!(bucket_ms > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        LatencyHistogram {
+            bucket_ms,
+            counts: vec![0; buckets + 1],
+            total: 0,
+            sum_ms: 0.0,
+            max_ms: 0.0,
+            reservoir: Vec::new(),
+            rng: Pcg32::seed_from_u64(0x004C_4154_454E_4359), // "LATENCY"
+        }
+    }
+
+    /// The netsim-compatible default: 40 buckets of 5 ms (0–200 ms span).
+    pub fn netsim_default() -> Self {
+        LatencyHistogram::new(DEFAULT_BUCKET_MS, 40)
+    }
+
+    /// Record one latency observation, in milliseconds.
+    pub fn record(&mut self, ms: f64) {
+        let ms = ms.max(0.0);
+        let bucket = ((ms / self.bucket_ms) as usize).min(self.counts.len() - 1);
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_ms += ms;
+        self.max_ms = self.max_ms.max(ms);
+        if self.reservoir.len() < RESERVOIR_CAP {
+            self.reservoir.push(ms);
+        } else {
+            // Vitter's algorithm R: keep a uniform sample of everything seen.
+            let j = self.rng.gen_index(self.total as usize);
+            if j < RESERVOIR_CAP {
+                self.reservoir[j] = ms;
+            }
+        }
+    }
+
+    /// Fold another histogram into this one (must share bucket geometry).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.bucket_ms, other.bucket_ms, "bucket width mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ms += other.sum_ms;
+        self.max_ms = self.max_ms.max(other.max_ms);
+        for &s in &other.reservoir {
+            if self.reservoir.len() < RESERVOIR_CAP {
+                self.reservoir.push(s);
+            } else {
+                let j = self.rng.gen_index(RESERVOIR_CAP);
+                self.reservoir[j] = s;
+            }
+        }
+    }
+
+    /// Bucket width in milliseconds.
+    pub fn bucket_ms(&self) -> f64 {
+        self.bucket_ms
+    }
+
+    /// Per-bucket counts (last slot is overflow) — the exact shape
+    /// `broadmatch_netsim::ServiceDist::from_bucket_counts` consumes.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.total as f64
+        }
+    }
+
+    /// Maximum observed latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// Approximate percentile (`0.0..=1.0`) by linear interpolation within
+    /// the containing bucket. Returns 0 when empty.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = p * self.total as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = acc + c;
+            if next as f64 >= rank {
+                if i == self.counts.len() - 1 {
+                    return self.max_ms; // overflow bucket: report the max
+                }
+                let within = ((rank - acc as f64) / c as f64).clamp(0.0, 1.0);
+                return i as f64 * self.bucket_ms + within * self.bucket_ms;
+            }
+            acc = next;
+        }
+        self.max_ms
+    }
+
+    /// The raw-sample reservoir (uniform over all observations) — feeds
+    /// `broadmatch_netsim::ServiceDist::from_samples` for calibration at
+    /// sub-bucket resolution.
+    pub fn samples(&self) -> &[f64] {
+        &self.reservoir
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::netsim_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_moments() {
+        let mut h = LatencyHistogram::new(5.0, 4);
+        for ms in [1.0, 2.0, 6.0, 12.0, 999.0] {
+            h.record(ms);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+        assert!((h.mean_ms() - 204.0).abs() < 1e-9);
+        assert_eq!(h.max_ms(), 999.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new(5.0, 4);
+        let mut b = LatencyHistogram::new(5.0, 4);
+        a.record(1.0);
+        b.record(7.0);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1, 0, 0, 0]);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::netsim_default();
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0); // 0..100ms uniform
+        }
+        let p50 = h.percentile_ms(0.5);
+        let p95 = h.percentile_ms(0.95);
+        let p99 = h.percentile_ms(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!((p50 - 50.0).abs() < 5.0, "p50 {p50}");
+        assert!((p95 - 95.0).abs() < 5.0, "p95 {p95}");
+    }
+
+    #[test]
+    fn reservoir_is_capped_and_representative() {
+        let mut h = LatencyHistogram::netsim_default();
+        for i in 0..20_000 {
+            h.record(if i % 2 == 0 { 1.0 } else { 100.0 });
+        }
+        assert_eq!(h.samples().len(), 4096);
+        let low = h.samples().iter().filter(|&&s| s < 50.0).count();
+        let frac = low as f64 / 4096.0;
+        assert!((frac - 0.5).abs() < 0.1, "reservoir skewed: {frac}");
+    }
+}

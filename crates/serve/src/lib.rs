@@ -1,0 +1,57 @@
+//! `broadmatch-serve`: a sharded, lock-free-read serving runtime for the
+//! ICDE 2009 broad-match index.
+//!
+//! The paper's data structure answers a broad-match query by probing a
+//! hash directory with every subset (up to the locator bound) of the query
+//! word set. This crate turns that single-threaded structure into a
+//! serving system, exploiting two properties:
+//!
+//! 1. **Probes partition perfectly.** Subset enumeration happens once per
+//!    query ([`broadmatch::BroadMatchIndex::plan_query`]); each probe hash
+//!    then belongs to exactly one shard (`wordhash % n_shards`), and
+//!    gathered shard results are bit-identical to single-threaded
+//!    execution — hits, order, and statistics ([`ShardedIndex`]).
+//! 2. **The index is immutable between rebuilds.** Reoptimization
+//!    (remapping, maintenance compaction) produces a *new* index, which
+//!    [`ServeRuntime::publish`] swaps in atomically via an RCU-style
+//!    [`ArcSwap`]: readers take **zero locks**, never block on a publish,
+//!    and each query sees exactly one consistent snapshot.
+//!
+//! On top sit a worker pool with per-shard bounded MPMC queues
+//! ([`BoundedQueue`]), request batching, admission control that rejects
+//! with a retry-after hint instead of queueing unboundedly, and per-shard
+//! latency histograms ([`LatencyHistogram`]) in the same 5 ms buckets the
+//! `broadmatch-netsim` simulator reports — so measured service times feed
+//! straight back into the paper's network-capacity model (Fig. 9).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use broadmatch::{AdInfo, IndexBuilder, MatchType};
+//! use broadmatch_serve::{ServeConfig, ServeRuntime};
+//!
+//! let mut builder = IndexBuilder::new();
+//! builder.add("cheap used books", AdInfo::with_bid(1, 25)).unwrap();
+//! let index = Arc::new(builder.build().unwrap());
+//!
+//! let runtime = ServeRuntime::start(index, ServeConfig::default());
+//! let resp = runtime.query("cheap used books online", MatchType::Broad).unwrap();
+//! assert_eq!(resp.hits.len(), 1);
+//! assert_eq!(resp.version, 1);
+//! ```
+//!
+//! Unsafe code is confined to [`arcswap`] (the core crate forbids unsafe
+//! entirely); everything here is std-only.
+
+#![warn(missing_docs)]
+
+pub mod arcswap;
+pub mod histogram;
+pub mod queue;
+pub mod runtime;
+pub mod shard;
+
+pub use arcswap::ArcSwap;
+pub use histogram::{LatencyHistogram, DEFAULT_BUCKET_MS};
+pub use queue::{BoundedQueue, PopResult, PushError};
+pub use runtime::{QueryResponse, ServeConfig, ServeError, ServeMetrics, ServeRuntime};
+pub use shard::ShardedIndex;

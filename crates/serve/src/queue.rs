@@ -1,0 +1,237 @@
+//! Bounded MPMC queue on `std::sync::Mutex` + `Condvar`.
+//!
+//! One queue per shard carries probe-execution tasks to the worker pool.
+//! Producers never block: a full queue is an admission-control signal
+//! ([`PushError::Full`]) that the runtime converts into a reject with a
+//! retry-after hint. Consumers pop in batches to amortize lock traffic and
+//! wakeups.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a non-blocking push was refused. The rejected item is handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed load or retry later.
+    Full(T),
+    /// The queue was closed (runtime shutting down).
+    Closed(T),
+}
+
+/// Outcome of a batched pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopResult<T> {
+    /// One or more items (never empty).
+    Items(Vec<T>),
+    /// The wait timed out with the queue still open and empty.
+    TimedOut,
+    /// The queue is closed and fully drained; the consumer should exit.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue without blocking; a full or closed queue refuses the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue up to `max` items, waiting at most `timeout` (forever when
+    /// `None`) for the first one.
+    pub fn pop_batch(&self, max: usize, timeout: Option<Duration>) -> PopResult<T> {
+        let max = max.max(1);
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.items.is_empty() {
+            if state.closed {
+                return PopResult::Closed;
+            }
+            match timeout {
+                None => state = self.not_empty.wait(state).expect("queue lock poisoned"),
+                Some(t) => {
+                    let (s, res) = self
+                        .not_empty
+                        .wait_timeout(state, t)
+                        .expect("queue lock poisoned");
+                    state = s;
+                    if res.timed_out() && state.items.is_empty() {
+                        return if state.closed {
+                            PopResult::Closed
+                        } else {
+                            PopResult::TimedOut
+                        };
+                    }
+                }
+            }
+        }
+        let n = state.items.len().min(max);
+        let batch = state.items.drain(..n).collect();
+        PopResult::Items(batch)
+    }
+
+    /// Items currently queued (a racy snapshot, for backpressure hints).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: future pushes fail, consumers drain what remains
+    /// and then observe [`PopResult::Closed`].
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_batching() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        match q.pop_batch(3, None) {
+            PopResult::Items(v) => assert_eq!(v, vec![0, 1, 2]),
+            other => panic!("{other:?}"),
+        }
+        match q.pop_batch(10, None) {
+            PopResult::Items(v) => assert_eq!(v, vec![3, 4]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_signals() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(8), Err(PushError::Closed(8))));
+        assert_eq!(q.pop_batch(4, None), PopResult::Items(vec![7]));
+        assert_eq!(q.pop_batch(4, None), PopResult::Closed);
+    }
+
+    #[test]
+    fn timeout_reports_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert_eq!(
+            q.pop_batch(4, Some(Duration::from_millis(5))),
+            PopResult::TimedOut
+        );
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_preserve_items() {
+        let q = std::sync::Arc::new(BoundedQueue::new(16));
+        let total = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            let producers: Vec<_> = (0..3u64)
+                .map(|t| {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for i in 0..500u64 {
+                            let mut item = t * 1000 + i;
+                            loop {
+                                match q.try_push(item) {
+                                    Ok(()) => break,
+                                    Err(PushError::Full(back)) => {
+                                        item = back;
+                                        std::thread::yield_now();
+                                    }
+                                    Err(PushError::Closed(_)) => panic!("closed early"),
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..2 {
+                let q = q.clone();
+                let total = total.clone();
+                s.spawn(move || loop {
+                    match q.pop_batch(8, None) {
+                        PopResult::Items(v) => {
+                            total.fetch_add(
+                                v.into_iter().sum::<u64>(),
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                        }
+                        PopResult::Closed => return,
+                        PopResult::TimedOut => unreachable!("no timeout given"),
+                    }
+                });
+            }
+            for p in producers {
+                p.join().expect("producer");
+            }
+            // Consumers drain the remainder, then see Closed and exit.
+            q.close();
+        });
+        let want: u64 = (0..3u64)
+            .flat_map(|t| (0..500u64).map(move |i| t * 1000 + i))
+            .sum();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), want);
+    }
+}

@@ -1,0 +1,601 @@
+//! The serving runtime: a worker pool executing planned probes against the
+//! currently published snapshot.
+//!
+//! A query is planned once on the submitting thread, then its probes
+//! scatter to per-shard bounded queues; pool workers execute each shard's
+//! slice against the snapshot captured at submission (so an index swap
+//! mid-query is invisible — snapshot consistency), and the submitting
+//! thread gathers the batches into final hits. Full queues reject at
+//! admission with a retry-after hint instead of building unbounded backlog.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use broadmatch::{BroadMatchIndex, MatchHit, MatchType, ProbeBatch, QueryPlan, QueryStats};
+
+use crate::arcswap::ArcSwap;
+use crate::histogram::LatencyHistogram;
+use crate::queue::{BoundedQueue, PopResult, PushError};
+use crate::shard::ShardedIndex;
+
+/// Runtime sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Probe-space partitions (`wordhash % n_shards`).
+    pub n_shards: usize,
+    /// Pool threads. Workers share shard queues (MPMC) when there are more
+    /// workers than shards, and round-robin several shards when there are
+    /// fewer.
+    pub n_workers: usize,
+    /// Per-shard queue bound; a full queue rejects at admission.
+    pub queue_capacity: usize,
+    /// Max tasks a worker drains per wakeup (amortizes lock traffic).
+    pub batch_size: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            n_shards: 4,
+            n_workers: 4,
+            queue_capacity: 1024,
+            batch_size: 8,
+        }
+    }
+}
+
+/// A successful query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Matching ads, bit-identical to single-threaded execution.
+    pub hits: Vec<MatchHit>,
+    /// Processing statistics, likewise identical.
+    pub stats: QueryStats,
+    /// Version of the snapshot that served this query.
+    pub version: u64,
+}
+
+/// Why the runtime refused a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: a shard queue is full. Retry after the hint —
+    /// roughly the time for the backlog ahead of you to drain.
+    Overloaded {
+        /// Suggested backoff before retrying.
+        retry_after: Duration,
+    },
+    /// The runtime is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { retry_after } => {
+                write!(f, "overloaded; retry after {retry_after:?}")
+            }
+            ServeError::ShuttingDown => write!(f, "runtime shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A point-in-time copy of the runtime's counters and histograms.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// Queries admitted and completed.
+    pub accepted: u64,
+    /// Queries refused by admission control.
+    pub rejected: u64,
+    /// Currently published snapshot version.
+    pub version: u64,
+    /// End-to-end query latency (plan → gather), netsim bucket geometry.
+    pub query_latency: LatencyHistogram,
+    /// Per-shard probe-execution latency, netsim bucket geometry.
+    pub shard_latency: Vec<LatencyHistogram>,
+    /// Per-shard tasks executed.
+    pub shard_tasks: Vec<u64>,
+}
+
+/// One published snapshot generation.
+#[derive(Debug)]
+struct Generation {
+    sharded: ShardedIndex,
+    version: u64,
+}
+
+/// Scatter/gather rendezvous for one query.
+struct Gather {
+    slots: Mutex<GatherSlots>,
+    done: Condvar,
+    cancelled: AtomicBool,
+}
+
+struct GatherSlots {
+    batches: Vec<Option<ProbeBatch>>,
+    remaining: usize,
+}
+
+impl Gather {
+    fn new(n_shards: usize, dispatched: usize) -> Self {
+        Gather {
+            slots: Mutex::new(GatherSlots {
+                batches: (0..n_shards).map(|_| None).collect(),
+                remaining: dispatched,
+            }),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    fn complete(&self, shard: usize, batch: ProbeBatch) {
+        let mut slots = self.slots.lock().expect("gather lock poisoned");
+        slots.batches[shard] = Some(batch);
+        slots.remaining -= 1;
+        if slots.remaining == 0 {
+            drop(slots);
+            self.done.notify_all();
+        }
+    }
+
+    /// Mark the query abandoned (admission failure mid-scatter): workers
+    /// skip execution for already-enqueued siblings.
+    fn cancel(&self) {
+        self.cancelled.store(true, SeqCst);
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(SeqCst)
+    }
+
+    /// Block until every dispatched shard has reported, then hand back the
+    /// batches in shard order (deterministic gather).
+    fn wait(&self) -> Vec<ProbeBatch> {
+        let mut slots = self.slots.lock().expect("gather lock poisoned");
+        while slots.remaining > 0 {
+            slots = self.done.wait(slots).expect("gather lock poisoned");
+        }
+        slots.batches.iter_mut().filter_map(Option::take).collect()
+    }
+}
+
+/// A unit of shard work: execute `probe_indices` of `plan` against the
+/// snapshot captured at submission.
+struct ShardTask {
+    snapshot: Arc<Generation>,
+    plan: Arc<QueryPlan>,
+    shard: usize,
+    probe_indices: Vec<usize>,
+    gather: Arc<Gather>,
+}
+
+#[derive(Debug)]
+struct ShardStat {
+    latency: LatencyHistogram,
+    tasks: u64,
+}
+
+/// Shared state between the runtime handle and its workers.
+struct Inner {
+    snapshot: ArcSwap<Generation>,
+    queues: Vec<BoundedQueue<ShardTask>>,
+    shard_stats: Vec<Mutex<ShardStat>>,
+    query_latency: Mutex<LatencyHistogram>,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    version: AtomicU64,
+}
+
+/// The serving runtime. Queries are safe to submit from any number of
+/// threads; [`ServeRuntime::publish`] swaps the index underneath them
+/// without blocking reads. Dropping the runtime drains and joins the pool.
+pub struct ServeRuntime {
+    inner: Arc<Inner>,
+    config: ServeConfig,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Start a runtime serving `index`.
+    pub fn start(index: Arc<BroadMatchIndex>, config: ServeConfig) -> Self {
+        assert!(config.n_shards > 0, "need at least one shard");
+        assert!(config.n_workers > 0, "need at least one worker");
+        let inner = Arc::new(Inner {
+            snapshot: ArcSwap::new(Arc::new(Generation {
+                sharded: ShardedIndex::new(index, config.n_shards),
+                version: 1,
+            })),
+            queues: (0..config.n_shards)
+                .map(|_| BoundedQueue::new(config.queue_capacity))
+                .collect(),
+            shard_stats: (0..config.n_shards)
+                .map(|_| {
+                    Mutex::new(ShardStat {
+                        latency: LatencyHistogram::netsim_default(),
+                        tasks: 0,
+                    })
+                })
+                .collect(),
+            query_latency: Mutex::new(LatencyHistogram::netsim_default()),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            version: AtomicU64::new(1),
+        });
+
+        let workers = (0..config.n_workers)
+            .map(|worker_id| {
+                let inner = Arc::clone(&inner);
+                let batch_size = config.batch_size.max(1);
+                let n_shards = config.n_shards;
+                let n_workers = config.n_workers;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&inner, worker_id, n_shards, n_workers, batch_size))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        ServeRuntime {
+            inner,
+            config,
+            workers,
+        }
+    }
+
+    /// Start with the default configuration.
+    pub fn with_defaults(index: Arc<BroadMatchIndex>) -> Self {
+        ServeRuntime::start(index, ServeConfig::default())
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Run a query through the pool: plan once, scatter the probes to their
+    /// owning shards, gather. Returns results bit-identical to running the
+    /// same query single-threaded against the snapshot current at
+    /// submission.
+    pub fn query(
+        &self,
+        query_text: &str,
+        match_type: MatchType,
+    ) -> Result<QueryResponse, ServeError> {
+        let t0 = Instant::now();
+        let snapshot = self.inner.snapshot.load();
+        let Some(plan) = snapshot.sharded.plan(query_text, match_type) else {
+            // Nothing can match: answer inline, still snapshot-tagged.
+            self.inner.accepted.fetch_add(1, SeqCst);
+            return Ok(QueryResponse {
+                hits: Vec::new(),
+                stats: QueryStats::default(),
+                version: snapshot.version,
+            });
+        };
+        let plan = Arc::new(plan);
+
+        // Route each probe to its owning shard; skip shards with no work.
+        let n_shards = self.config.n_shards;
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for (i, &h) in plan.probe_hashes().iter().enumerate() {
+            per_shard[(h % n_shards as u64) as usize].push(i);
+        }
+        let dispatched: Vec<usize> = (0..n_shards)
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+        let gather = Arc::new(Gather::new(n_shards, dispatched.len()));
+
+        for &shard in &dispatched {
+            let task = ShardTask {
+                snapshot: Arc::clone(&snapshot),
+                plan: Arc::clone(&plan),
+                shard,
+                probe_indices: std::mem::take(&mut per_shard[shard]),
+                gather: Arc::clone(&gather),
+            };
+            if let Err(err) = self.inner.queues[shard].try_push(task) {
+                // Already-enqueued siblings will see the cancel flag and
+                // complete trivially; nobody waits on this gather.
+                gather.cancel();
+                self.inner.rejected.fetch_add(1, SeqCst);
+                return Err(match err {
+                    PushError::Full(_) => ServeError::Overloaded {
+                        retry_after: self.retry_after(shard),
+                    },
+                    PushError::Closed(_) => ServeError::ShuttingDown,
+                });
+            }
+        }
+
+        let batches = gather.wait();
+        let (hits, stats) = snapshot.sharded.finish(&plan, batches);
+        self.inner.accepted.fetch_add(1, SeqCst);
+        self.inner
+            .query_latency
+            .lock()
+            .expect("latency lock poisoned")
+            .record(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(QueryResponse {
+            hits,
+            stats,
+            version: snapshot.version,
+        })
+    }
+
+    /// Atomically publish a new index. In-flight and future queries each
+    /// see exactly one snapshot; none block, none see a partial swap.
+    /// Returns the new version number.
+    pub fn publish(&self, index: Arc<BroadMatchIndex>) -> u64 {
+        let version = self.inner.version.fetch_add(1, SeqCst) + 1;
+        self.inner.snapshot.store(Arc::new(Generation {
+            sharded: ShardedIndex::new(index, self.config.n_shards),
+            version,
+        }));
+        version
+    }
+
+    /// The currently published snapshot and its version.
+    pub fn current(&self) -> (Arc<BroadMatchIndex>, u64) {
+        let snapshot = self.inner.snapshot.load();
+        (Arc::clone(snapshot.sharded.index()), snapshot.version)
+    }
+
+    /// Copy out counters and histograms.
+    pub fn metrics(&self) -> ServeMetrics {
+        let mut shard_latency = Vec::with_capacity(self.config.n_shards);
+        let mut shard_tasks = Vec::with_capacity(self.config.n_shards);
+        for stat in &self.inner.shard_stats {
+            let stat = stat.lock().expect("stats lock poisoned");
+            shard_latency.push(stat.latency.clone());
+            shard_tasks.push(stat.tasks);
+        }
+        ServeMetrics {
+            accepted: self.inner.accepted.load(SeqCst),
+            rejected: self.inner.rejected.load(SeqCst),
+            version: self.inner.version.load(SeqCst),
+            query_latency: self
+                .inner
+                .query_latency
+                .lock()
+                .expect("latency lock poisoned")
+                .clone(),
+            shard_latency,
+            shard_tasks,
+        }
+    }
+
+    /// Backoff hint for a rejected query: roughly the time for `shard`'s
+    /// current backlog to drain at the recently observed service rate.
+    fn retry_after(&self, shard: usize) -> Duration {
+        let depth = self.inner.queues[shard].len() as f64;
+        let mean_ms = {
+            let stat = self.inner.shard_stats[shard]
+                .lock()
+                .expect("stats lock poisoned");
+            stat.latency.mean_ms()
+        };
+        // Unmeasured queues still get a non-zero hint.
+        let per_task_ms = if mean_ms > 0.0 { mean_ms } else { 0.05 };
+        Duration::from_micros(((depth + 1.0) * per_task_ms * 1e3) as u64)
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        for queue in &self.inner.queues {
+            queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeRuntime")
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Worker thread body. Each worker owns the shards congruent to its id
+/// modulo the pool size; a worker with a single shard blocks on that
+/// queue, one with several polls them round-robin with a short timeout.
+/// With more workers than shards, the extra workers join the queue of
+/// shard `worker_id % n_shards` (the queues are MPMC).
+fn worker_loop(
+    inner: &Inner,
+    worker_id: usize,
+    n_shards: usize,
+    n_workers: usize,
+    batch_size: usize,
+) {
+    let mut my_shards: Vec<usize> = (0..n_shards)
+        .filter(|s| s % n_workers == worker_id)
+        .collect();
+    if my_shards.is_empty() {
+        my_shards.push(worker_id % n_shards);
+    }
+    let timeout = if my_shards.len() == 1 {
+        None // sole queue: block until work or close
+    } else {
+        Some(Duration::from_micros(200))
+    };
+
+    let mut closed = vec![false; my_shards.len()];
+    while !closed.iter().all(|&c| c) {
+        for (k, &shard) in my_shards.iter().enumerate() {
+            if closed[k] {
+                continue;
+            }
+            match inner.queues[shard].pop_batch(batch_size, timeout) {
+                PopResult::Items(tasks) => {
+                    for task in tasks {
+                        run_task(inner, task);
+                    }
+                }
+                PopResult::TimedOut => {}
+                PopResult::Closed => closed[k] = true,
+            }
+        }
+    }
+}
+
+fn run_task(inner: &Inner, task: ShardTask) {
+    let t0 = Instant::now();
+    let batch = if task.gather.is_cancelled() {
+        ProbeBatch::default()
+    } else {
+        task.snapshot
+            .sharded
+            .index()
+            .execute_probes(&task.plan, task.probe_indices.iter().copied())
+    };
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    {
+        let mut stat = inner.shard_stats[task.shard]
+            .lock()
+            .expect("stats lock poisoned");
+        stat.latency.record(elapsed_ms);
+        stat.tasks += 1;
+    }
+    task.gather.complete(task.shard, batch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use broadmatch::{AdInfo, IndexBuilder};
+
+    fn sample() -> Arc<BroadMatchIndex> {
+        let mut b = IndexBuilder::new();
+        b.add("used books", AdInfo::with_bid(1, 10)).unwrap();
+        b.add("cheap used books", AdInfo::with_bid(2, 20)).unwrap();
+        b.add("books", AdInfo::with_bid(3, 30)).unwrap();
+        b.add("talk talk", AdInfo::with_bid(4, 40)).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn pool_results_match_single_threaded() {
+        let index = sample();
+        for (shards, workers) in [(1, 1), (2, 1), (4, 2), (3, 6)] {
+            let runtime = ServeRuntime::start(
+                index.clone(),
+                ServeConfig {
+                    n_shards: shards,
+                    n_workers: workers,
+                    ..ServeConfig::default()
+                },
+            );
+            for (q, mt) in [
+                ("cheap used books online", MatchType::Broad),
+                ("used books", MatchType::Exact),
+                ("buy used books now", MatchType::Phrase),
+                ("talk talk talk", MatchType::Phrase),
+                ("zzz unknown", MatchType::Broad),
+            ] {
+                let (want_hits, want_stats) = index.query_with_stats(q, mt);
+                let resp = runtime.query(q, mt).expect("admitted");
+                assert_eq!(resp.hits, want_hits, "{q} on {shards}x{workers}");
+                assert_eq!(resp.stats, want_stats, "{q} on {shards}x{workers}");
+                assert_eq!(resp.version, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn publish_bumps_version_and_changes_results() {
+        let runtime = ServeRuntime::with_defaults(sample());
+        assert_eq!(runtime.query("books", MatchType::Broad).unwrap().version, 1);
+
+        let mut b = IndexBuilder::new();
+        b.add("fresh books", AdInfo::with_bid(9, 90)).unwrap();
+        let v2 = runtime.publish(Arc::new(b.build().unwrap()));
+        assert_eq!(v2, 2);
+
+        let resp = runtime
+            .query("fresh books today", MatchType::Broad)
+            .unwrap();
+        assert_eq!(resp.version, 2);
+        assert_eq!(resp.hits.len(), 1);
+        assert_eq!(resp.hits[0].info.listing_id, 9);
+        // The old corpus is gone.
+        assert!(runtime
+            .query("used books", MatchType::Exact)
+            .unwrap()
+            .hits
+            .is_empty());
+    }
+
+    #[test]
+    fn admission_control_rejects_when_saturated() {
+        // A runtime whose single worker is starved by a tiny queue: fill it
+        // beyond capacity from this thread without waiting, and at least
+        // one push must be refused with a retry hint.
+        let runtime = ServeRuntime::start(
+            sample(),
+            ServeConfig {
+                n_shards: 1,
+                n_workers: 1,
+                queue_capacity: 1,
+                batch_size: 1,
+            },
+        );
+        // Single-threaded submission can't overrun a live worker reliably,
+        // so drive the queue directly through many concurrent submitters.
+        let rejected = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let runtime = &runtime;
+                let rejected = &rejected;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        match runtime.query("cheap used books online", MatchType::Broad) {
+                            Ok(resp) => assert_eq!(resp.hits.len(), 3),
+                            Err(ServeError::Overloaded { retry_after }) => {
+                                assert!(retry_after > Duration::ZERO);
+                                rejected.fetch_add(1, SeqCst);
+                            }
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let metrics = runtime.metrics();
+        assert_eq!(metrics.rejected, rejected.load(SeqCst));
+        assert!(metrics.accepted + metrics.rejected == 1600);
+    }
+
+    #[test]
+    fn metrics_track_work() {
+        let runtime = ServeRuntime::start(
+            sample(),
+            ServeConfig {
+                n_shards: 2,
+                n_workers: 2,
+                ..ServeConfig::default()
+            },
+        );
+        for _ in 0..50 {
+            runtime
+                .query("cheap used books online", MatchType::Broad)
+                .unwrap();
+        }
+        let m = runtime.metrics();
+        assert_eq!(m.accepted, 50);
+        assert_eq!(m.version, 1);
+        assert_eq!(m.query_latency.total(), 50);
+        assert_eq!(m.shard_latency.len(), 2);
+        // Every dispatched shard task was measured.
+        let measured: u64 = m.shard_latency.iter().map(|h| h.total()).sum();
+        let tasks: u64 = m.shard_tasks.iter().sum();
+        assert_eq!(measured, tasks);
+        assert!(tasks >= 50, "each query dispatches at least one shard task");
+    }
+}

@@ -1,0 +1,137 @@
+//! Logical sharding of one immutable index snapshot.
+//!
+//! The paper's data structure is a hash directory over word-subset hashes,
+//! which makes it embarrassingly partitionable: shard `r` of `n` owns every
+//! probe whose `wordhash % n == r`. All shards read the *same* immutable
+//! [`BroadMatchIndex`] — sharding splits the probe work, not the storage —
+//! so a query is planned once (`plan_query`), its probes scatter to the
+//! owning shards, and the batches gather into results bit-identical to
+//! single-threaded execution (`finish_query` orders scanned nodes by first
+//! reaching probe).
+
+use std::sync::Arc;
+
+use broadmatch::{BroadMatchIndex, MatchHit, MatchType, ProbeBatch, QueryPlan, QueryStats};
+
+/// An immutable index snapshot plus a shard count: the unit the serving
+/// runtime publishes atomically.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    index: Arc<BroadMatchIndex>,
+    n_shards: usize,
+}
+
+impl ShardedIndex {
+    /// Wrap `index` for `n_shards`-way probe partitioning.
+    pub fn new(index: Arc<BroadMatchIndex>, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        ShardedIndex { index, n_shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The underlying snapshot.
+    pub fn index(&self) -> &Arc<BroadMatchIndex> {
+        &self.index
+    }
+
+    /// Plan a query against this snapshot (see
+    /// [`BroadMatchIndex::plan_query`]).
+    pub fn plan(&self, query_text: &str, match_type: MatchType) -> Option<QueryPlan> {
+        self.index.plan_query(query_text, match_type)
+    }
+
+    /// Which shard owns probe hash `hash`.
+    pub fn shard_of(&self, hash: u64) -> usize {
+        (hash % self.n_shards as u64) as usize
+    }
+
+    /// The probe indices of `plan` owned by `shard`, in enumeration order.
+    pub fn probe_indices(&self, plan: &QueryPlan, shard: usize) -> Vec<usize> {
+        plan.probe_hashes()
+            .iter()
+            .enumerate()
+            .filter(|&(_, h)| self.shard_of(*h) == shard)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Execute `shard`'s slice of `plan`.
+    pub fn execute_shard(&self, plan: &QueryPlan, shard: usize) -> ProbeBatch {
+        self.index
+            .execute_probes(plan, self.probe_indices(plan, shard))
+    }
+
+    /// Gather shard batches into final hits and stats.
+    pub fn finish(
+        &self,
+        plan: &QueryPlan,
+        batches: impl IntoIterator<Item = ProbeBatch>,
+    ) -> (Vec<MatchHit>, QueryStats) {
+        self.index.finish_query(plan, batches)
+    }
+
+    /// Run a query across all shards on the calling thread — the
+    /// scatter/gather path without the worker pool (reference
+    /// implementation and fallback).
+    pub fn query_local(
+        &self,
+        query_text: &str,
+        match_type: MatchType,
+    ) -> (Vec<MatchHit>, QueryStats) {
+        let Some(plan) = self.plan(query_text, match_type) else {
+            return (Vec::new(), QueryStats::default());
+        };
+        let batches: Vec<ProbeBatch> = (0..self.n_shards)
+            .map(|s| self.execute_shard(&plan, s))
+            .collect();
+        self.finish(&plan, batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use broadmatch::{AdInfo, IndexBuilder};
+
+    fn sample() -> Arc<BroadMatchIndex> {
+        let mut b = IndexBuilder::new();
+        b.add("used books", AdInfo::with_bid(1, 10)).unwrap();
+        b.add("cheap used books", AdInfo::with_bid(2, 20)).unwrap();
+        b.add("books", AdInfo::with_bid(3, 30)).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn shards_partition_probes() {
+        let sharded = ShardedIndex::new(sample(), 4);
+        let plan = sharded.plan("cheap used books", MatchType::Broad).unwrap();
+        let mut all: Vec<usize> = (0..4)
+            .flat_map(|s| sharded.probe_indices(&plan, s))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..plan.probe_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn query_local_matches_direct_query() {
+        let index = sample();
+        for n in [1, 2, 3, 7] {
+            let sharded = ShardedIndex::new(index.clone(), n);
+            for (q, mt) in [
+                ("cheap used books online", MatchType::Broad),
+                ("used books", MatchType::Exact),
+                ("buy used books", MatchType::Phrase),
+                ("unknown words", MatchType::Broad),
+            ] {
+                let (want_hits, want_stats) = index.query_with_stats(q, mt);
+                let (hits, stats) = sharded.query_local(q, mt);
+                assert_eq!(hits, want_hits, "{q} over {n} shards");
+                assert_eq!(stats, want_stats, "{q} over {n} shards");
+            }
+        }
+    }
+}

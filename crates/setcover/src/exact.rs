@@ -129,7 +129,11 @@ pub fn exact_cover(
             });
             for i in options {
                 stack.push(i);
-                self.go(covered | self.masks[i], weight + self.candidates[i].weight, stack);
+                self.go(
+                    covered | self.masks[i],
+                    weight + self.candidates[i].weight,
+                    stack,
+                );
                 stack.pop();
             }
         }
@@ -151,7 +155,11 @@ pub fn exact_cover(
 
     Ok(CoverSolution {
         chosen: search.best,
-        total_weight: if universe == 0 { 0.0 } else { search.best_weight },
+        total_weight: if universe == 0 {
+            0.0
+        } else {
+            search.best_weight
+        },
     })
 }
 
@@ -217,7 +225,9 @@ mod tests {
             }
             for i in 0..n_sets {
                 let size = 1 + (rng() as usize % max_size);
-                let elements: Vec<u32> = (0..size).map(|_| (rng() % universe as u64) as u32).collect();
+                let elements: Vec<u32> = (0..size)
+                    .map(|_| (rng() % universe as u64) as u32)
+                    .collect();
                 candidates.push(CandidateSet::new(
                     elements,
                     0.5 + (rng() % 100) as f64 / 20.0,

@@ -104,17 +104,14 @@ impl BitVec {
     pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
             let base = wi as u64 * 64;
-            std::iter::successors(
-                if w == 0 { None } else { Some(w) },
-                |&rest| {
-                    let next = rest & (rest - 1);
-                    if next == 0 {
-                        None
-                    } else {
-                        Some(next)
-                    }
-                },
-            )
+            std::iter::successors(if w == 0 { None } else { Some(w) }, |&rest| {
+                let next = rest & (rest - 1);
+                if next == 0 {
+                    None
+                } else {
+                    Some(next)
+                }
+            })
             .map(move |rest| base + rest.trailing_zeros() as u64)
         })
     }
@@ -139,7 +136,10 @@ mod tests {
         for i in 0..200 {
             assert_eq!(bv.get(i), i % 3 == 0, "bit {i}");
         }
-        assert_eq!(bv.count_ones(), (0..200).filter(|i| i % 3 == 0).count() as u64);
+        assert_eq!(
+            bv.count_ones(),
+            (0..200).filter(|i| i % 3 == 0).count() as u64
+        );
     }
 
     #[test]

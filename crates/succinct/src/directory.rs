@@ -117,14 +117,20 @@ impl CompressedDirectory {
     /// # Panics
     /// Panics if suffixes are not strictly increasing or out of range.
     pub fn new(suffix_bits: u32, nodes: &[(u64, u64)]) -> Self {
-        assert!(suffix_bits <= 48, "suffix width {suffix_bits} unreasonably large");
+        assert!(
+            suffix_bits <= 48,
+            "suffix width {suffix_bits} unreasonably large"
+        );
         let universe = 1u64 << suffix_bits;
         let mut suffixes = Vec::with_capacity(nodes.len());
         let mut offsets = Vec::with_capacity(nodes.len() + 1);
         let mut cursor = 0u64;
         let mut prev: Option<u64> = None;
         for &(suffix, len) in nodes {
-            assert!(suffix < universe, "suffix {suffix} out of range for s={suffix_bits}");
+            assert!(
+                suffix < universe,
+                "suffix {suffix} out of range for s={suffix_bits}"
+            );
             if let Some(p) = prev {
                 assert!(suffix > p, "suffixes must be strictly increasing");
             }
@@ -320,7 +326,10 @@ mod tests {
     fn model_pick_scales_with_node_count() {
         let small = pick_suffix_bits_by_model(1_000, 80, 8.0);
         let big = pick_suffix_bits_by_model(10_000_000, 80, 8.0);
-        assert!(big > small, "more nodes need wider suffixes: {small} vs {big}");
+        assert!(
+            big > small,
+            "more nodes need wider suffixes: {small} vs {big}"
+        );
         // Tolerating more scan lets the suffix shrink.
         let loose = pick_suffix_bits_by_model(1_000_000, 80, 800.0);
         let tight = pick_suffix_bits_by_model(1_000_000, 80, 1.0);
@@ -333,7 +342,11 @@ mod tests {
         // small number of additional hash collisions" — under 6 extra bytes
         // per visit at 75-byte nodes.
         let rows = suffix_tradeoff(20_000_000, 75, 28..=28);
-        assert!(rows[0].extra_scan_bytes < 6.0, "{}", rows[0].extra_scan_bytes);
+        assert!(
+            rows[0].extra_scan_bytes < 6.0,
+            "{}",
+            rows[0].extra_scan_bytes
+        );
     }
 
     #[test]

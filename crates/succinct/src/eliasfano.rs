@@ -88,7 +88,11 @@ impl EliasFano {
     /// # Panics
     /// Panics if `i >= len`.
     pub fn get(&self, i: u64) -> u64 {
-        assert!(i < self.len, "EliasFano index {i} out of range {}", self.len);
+        assert!(
+            i < self.len,
+            "EliasFano index {i} out of range {}",
+            self.len
+        );
         let high = self.high.select1(i).expect("index checked") - i;
         let mut lowv = 0u64;
         for b in 0..self.low_bits as u64 {

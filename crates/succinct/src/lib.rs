@@ -68,6 +68,11 @@ mod tests {
         let (n, k) = (1u64 << 28, 4_000_000u64);
         let h = zero_order_entropy_bits(n, k);
         let bound = k as f64 * ((n as f64 / k as f64).log2() + std::f64::consts::E.log2());
-        assert!(h <= bound, "H0 {} must be below the paper's bound {}", h, bound);
+        assert!(
+            h <= bound,
+            "H0 {} must be below the paper's bound {}",
+            h,
+            bound
+        );
     }
 }

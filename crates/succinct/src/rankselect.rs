@@ -243,7 +243,9 @@ mod tests {
         let mut state = 12345u64;
         let mut bv = BitVec::default();
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             bv.push(state >> 60 > 7);
         }
         check_exhaustive(bv);

@@ -1,5 +1,8 @@
 //! Property-based tests: rank/select, Elias–Fano and the compressed
 //! directory agree with naive reference implementations on arbitrary inputs.
+//! Opt-in: `cargo test --features proptest-tests`.
+
+#![cfg(feature = "proptest-tests")]
 
 use broadmatch_succinct::{BitVec, CompressedDirectory, EliasFano, RankSelect};
 use proptest::prelude::*;

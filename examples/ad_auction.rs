@@ -68,7 +68,10 @@ fn main() {
 
     // Stage 1: broad-match retrieval (the paper's contribution).
     let mut hits = index.query(query, MatchType::Broad);
-    println!("stage 1 — broad match retrieved {} candidate ads", hits.len());
+    println!(
+        "stage 1 — broad match retrieved {} candidate ads",
+        hits.len()
+    );
 
     // Stage 2: secondary filters.
     let query_words: HashSet<String> = query.split_whitespace().map(str::to_string).collect();
@@ -81,7 +84,10 @@ fn main() {
         // Budget: drop ads from exhausted campaigns.
         c.spent_micros < c.daily_budget_micros
     });
-    println!("stage 2 — {} ads survive exclusion/budget filters", hits.len());
+    println!(
+        "stage 2 — {} ads survive exclusion/budget filters",
+        hits.len()
+    );
 
     // Stage 3: auction. Rank by bid; price is generalized second-price.
     hits.sort_by_key(|h| std::cmp::Reverse(h.info.bid_micros));

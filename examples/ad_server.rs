@@ -1,4 +1,6 @@
-//! A miniature ad server over stdin: type queries, get ranked ads.
+//! A miniature ad server over stdin, served through the `broadmatch-serve`
+//! runtime: queries scatter across shard workers, and the index can be
+//! rebuilt and atomically swapped while queries are in flight.
 //!
 //! ```text
 //! cargo run --release --example ad_server            # interactive
@@ -7,26 +9,46 @@
 //!
 //! Commands: plain text runs a broad-match auction; `:exact <q>` /
 //! `:phrase <q>` switch semantics; `:stats <q>` shows query processing
-//! statistics; `:quit` exits.
+//! statistics; `:reload <seed>` rebuilds the corpus at a new seed and
+//! publishes it without stopping the pool; `:metrics` prints runtime
+//! counters; `:quit` exits.
 
 use std::io::BufRead;
+use std::sync::Arc;
 
-use sponsored_search::broadmatch::{IndexBuilder, IndexConfig, MatchType, RemapMode};
+use sponsored_search::broadmatch::{
+    BroadMatchIndex, IndexBuilder, IndexConfig, MatchType, RemapMode,
+};
 use sponsored_search::corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
+use sponsored_search::serve::{ServeConfig, ServeError, ServeRuntime};
 
-fn main() {
-    eprintln!("building a 20K-ad synthetic index...");
-    let corpus = AdCorpus::generate(CorpusConfig::benchmark(20_000, 7));
-    let workload = Workload::generate(QueryGenConfig::small(7), &corpus);
-    let mut config = IndexConfig::default();
-    config.remap = RemapMode::Full;
+fn build(seed: u64) -> (AdCorpus, Arc<BroadMatchIndex>) {
+    let corpus = AdCorpus::generate(CorpusConfig::benchmark(20_000, seed));
+    let workload = Workload::generate(QueryGenConfig::small(seed), &corpus);
+    let config = IndexConfig {
+        remap: RemapMode::Full,
+        ..IndexConfig::default()
+    };
     let mut builder = IndexBuilder::with_config(config);
     for ad in corpus.ads() {
         builder.add(&ad.phrase, ad.info).expect("valid phrase");
     }
     builder.set_workload(workload.to_builder_workload());
-    let index = builder.build().expect("valid config");
+    (corpus, Arc::new(builder.build().expect("valid config")))
+}
+
+fn main() {
+    eprintln!("building a 20K-ad synthetic index...");
+    let (corpus, index) = build(7);
     let stats = index.stats();
+    let runtime = ServeRuntime::start(
+        index,
+        ServeConfig {
+            n_shards: 4,
+            n_workers: 4,
+            ..ServeConfig::default()
+        },
+    );
     eprintln!(
         "ready: {} ads, {} word sets, {} nodes, {} KiB arena + {} KiB directory",
         stats.ads,
@@ -35,8 +57,16 @@ fn main() {
         stats.arena_bytes / 1024,
         stats.directory_bytes / 1024
     );
-    eprintln!("example corpus words look like: {:?}", &corpus.wordset_phrases()[..3]);
-    eprintln!("type a query (or :exact/:phrase/:stats/:quit):");
+    eprintln!(
+        "serving via {} shards x {} workers (snapshot v1)",
+        runtime.config().n_shards,
+        runtime.config().n_workers
+    );
+    eprintln!(
+        "example corpus words look like: {:?}",
+        &corpus.wordset_phrases()[..3]
+    );
+    eprintln!("type a query (or :exact/:phrase/:stats/:reload/:metrics/:quit):");
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -45,29 +75,75 @@ fn main() {
         if line.is_empty() {
             continue;
         }
+        if line == ":quit" {
+            break;
+        }
+        if line == ":metrics" {
+            let m = runtime.metrics();
+            println!(
+                "accepted {}  rejected {}  snapshot v{}  mean query {:.3} ms",
+                m.accepted,
+                m.rejected,
+                m.version,
+                m.query_latency.mean_ms()
+            );
+            for (shard, (hist, tasks)) in m.shard_latency.iter().zip(&m.shard_tasks).enumerate() {
+                println!(
+                    "  shard {shard}: {tasks} tasks, mean {:.4} ms, p95 {:.4} ms",
+                    hist.mean_ms(),
+                    hist.percentile_ms(0.95)
+                );
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":reload ") {
+            let Ok(seed) = rest.trim().parse::<u64>() else {
+                println!("usage: :reload <seed>");
+                continue;
+            };
+            let start = std::time::Instant::now();
+            let (_, index) = build(seed);
+            let version = runtime.publish(index);
+            println!(
+                "rebuilt and published snapshot v{version} in {:.1} ms (readers never blocked)",
+                start.elapsed().as_secs_f64() * 1e3
+            );
+            continue;
+        }
         let (mt, query, show_stats) = if let Some(rest) = line.strip_prefix(":exact ") {
             (MatchType::Exact, rest, false)
         } else if let Some(rest) = line.strip_prefix(":phrase ") {
             (MatchType::Phrase, rest, false)
         } else if let Some(rest) = line.strip_prefix(":stats ") {
             (MatchType::Broad, rest, true)
-        } else if line == ":quit" {
-            break;
         } else {
             (MatchType::Broad, line, false)
         };
 
         let start = std::time::Instant::now();
-        let (mut hits, qstats) = index.query_with_stats(query, mt);
+        let resp = match runtime.query(query, mt) {
+            Ok(resp) => resp,
+            Err(ServeError::Overloaded { retry_after }) => {
+                println!("overloaded; retry after {retry_after:?}");
+                continue;
+            }
+            Err(ServeError::ShuttingDown) => break,
+        };
         let elapsed = start.elapsed();
+        let mut hits = resp.hits;
         hits.sort_by_key(|h| std::cmp::Reverse(h.info.bid_micros));
         hits.truncate(5);
 
         println!(
-            "{} match(es) in {:.1} us{}",
-            qstats.hits,
+            "{} match(es) in {:.1} us on snapshot v{}{}",
+            resp.stats.hits,
             elapsed.as_secs_f64() * 1e6,
-            if qstats.truncated { " (probe cap hit)" } else { "" },
+            resp.version,
+            if resp.stats.truncated {
+                " (probe cap hit)"
+            } else {
+                ""
+            },
         );
         for (slot, h) in hits.iter().enumerate() {
             println!(
@@ -81,7 +157,7 @@ fn main() {
         if show_stats {
             println!(
                 "  probes {}  hits {}  nodes visited {}",
-                qstats.probes, qstats.probe_hits, qstats.nodes_visited
+                resp.stats.probes, resp.stats.probe_hits, resp.stats.nodes_visited
             );
         }
     }

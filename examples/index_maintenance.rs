@@ -10,7 +10,9 @@ use sponsored_search::broadmatch::{AdInfo, IndexBuilder, MaintainedIndex, MatchT
 fn main() {
     let mut builder = IndexBuilder::new();
     builder.add("used books", AdInfo::with_bid(1, 100)).unwrap();
-    builder.add("cheap used books", AdInfo::with_bid(2, 80)).unwrap();
+    builder
+        .add("cheap used books", AdInfo::with_bid(2, 80))
+        .unwrap();
     let index = MaintainedIndex::new(builder.build().unwrap()).unwrap();
     println!("initial: {} ads", index.len());
 
@@ -52,5 +54,8 @@ fn main() {
         index.dead_bytes()
     );
     let hits = index.query("cheap used books", MatchType::Broad);
-    println!("query 'cheap used books' -> {} hits (unchanged results)", hits.len());
+    println!(
+        "query 'cheap used books' -> {} hits (unchanged results)",
+        hits.len()
+    );
 }

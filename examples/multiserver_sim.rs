@@ -29,7 +29,11 @@ fn main() {
             let r = run_simulation(&cfg, rate, 20_000);
             println!(
                 "{:<22} {:>10.0} {:>12.0} {:>11.0}% {:>10.2}",
-                name, rate, r.throughput_qps, r.index_cpu_util * 100.0, r.mean_latency_ms
+                name,
+                rate,
+                r.throughput_qps,
+                r.index_cpu_util * 100.0,
+                r.mean_latency_ms
             );
         }
         println!();

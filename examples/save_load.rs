@@ -15,15 +15,21 @@ fn main() {
     // "Offline" build: corpus + workload-driven optimization.
     let corpus = AdCorpus::generate(CorpusConfig::small(99));
     let workload = Workload::generate(QueryGenConfig::small(99), &corpus);
-    let mut config = IndexConfig::default();
-    config.remap = RemapMode::FullWithWithdrawals;
+    let config = IndexConfig {
+        remap: RemapMode::FullWithWithdrawals,
+        ..IndexConfig::default()
+    };
     let mut builder = IndexBuilder::with_config(config);
     for ad in corpus.ads() {
         builder.add(&ad.phrase, ad.info).expect("valid phrase");
     }
     // One brand-protected campaign with an exclusion phrase.
     builder
-        .add_with_exclusions("designer handbags", AdInfo::with_bid(777, 500), &["replica", "fake"])
+        .add_with_exclusions(
+            "designer handbags",
+            AdInfo::with_bid(777, 500),
+            &["replica", "fake"],
+        )
         .expect("valid phrase");
     builder.set_workload(workload.to_builder_workload());
     let index = builder.build().expect("valid config");
@@ -49,8 +55,16 @@ fn main() {
     };
     let mut checked = 0usize;
     for q in workload.sample_trace(2_000, 5) {
-        let a: Vec<u64> = index.query(q, MatchType::Broad).iter().map(|h| h.info.listing_id).collect();
-        let b: Vec<u64> = loaded.query(q, MatchType::Broad).iter().map(|h| h.info.listing_id).collect();
+        let a: Vec<u64> = index
+            .query(q, MatchType::Broad)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+        let b: Vec<u64> = loaded
+            .query(q, MatchType::Broad)
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
         assert_eq!(a, b, "loaded index diverged on {q:?}");
         checked += 1;
     }
@@ -58,7 +72,9 @@ fn main() {
 
     // Exclusion phrases survive the round trip.
     assert_eq!(loaded.query("designer handbags", MatchType::Broad).len(), 1);
-    assert!(loaded.query("replica designer handbags", MatchType::Broad).is_empty());
+    assert!(loaded
+        .query("replica designer handbags", MatchType::Broad)
+        .is_empty());
     println!("exclusion phrases intact: 'replica designer handbags' matches nothing");
 
     // And the loaded index is immediately maintainable.
@@ -68,7 +84,9 @@ fn main() {
         .expect("valid phrase");
     println!(
         "online insert works after load: {} hits for 'weekend flash sale now'",
-        serving.query("weekend flash sale now", MatchType::Broad).len()
+        serving
+            .query("weekend flash sale now", MatchType::Broad)
+            .len()
     );
 
     std::fs::remove_file(&path).ok();

@@ -5,7 +5,9 @@
 //! cargo run --release --example workload_tuning
 //! ```
 
-use sponsored_search::broadmatch::{IndexBuilder, IndexConfig, MatchType, QueryWorkload, RemapMode};
+use sponsored_search::broadmatch::{
+    IndexBuilder, IndexConfig, MatchType, QueryWorkload, RemapMode,
+};
 use sponsored_search::corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
 use sponsored_search::memcost::CountingTracker;
 
@@ -15,9 +17,11 @@ fn main() {
     let trace = workload.sample_trace(20_000, 1);
 
     let build = |remap: RemapMode| {
-        let mut config = IndexConfig::default();
-        config.remap = remap;
-        config.max_words = 5;
+        let config = IndexConfig {
+            remap,
+            max_words: 5,
+            ..IndexConfig::default()
+        };
         let mut builder = IndexBuilder::with_config(config);
         for ad in corpus.ads() {
             builder.add(&ad.phrase, ad.info).expect("valid phrase");
@@ -26,7 +30,10 @@ fn main() {
         builder.build().expect("valid config")
     };
 
-    println!("{:<28} {:>8} {:>12} {:>14} {:>14}", "layout", "nodes", "remapped", "random_acc", "bytes_read");
+    println!(
+        "{:<28} {:>8} {:>12} {:>14} {:>14}",
+        "layout", "nodes", "remapped", "random_acc", "bytes_read"
+    );
     for (label, remap) in [
         ("identity (no re-mapping)", RemapMode::None),
         ("long phrases only", RemapMode::LongOnly),

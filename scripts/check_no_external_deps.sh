@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Dependency policy check (a cargo-deny stand-in that needs no network):
+# every dependency of every workspace member must resolve to a path inside
+# this repository. Registry or git dependencies anywhere — including dev
+# and optional deps — would break the offline build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. No registry/git requirements in any manifest: every [dependencies]-like
+#    table entry must be `{ path = ... }`, `workspace = true`, or a local
+#    shim declared in [workspace.dependencies] with a path.
+violations=$(cargo metadata --offline --format-version 1 --no-deps \
+  | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+bad = []
+for pkg in meta["packages"]:
+    for dep in pkg["dependencies"]:
+        # A path dependency carries "path"; registry deps carry "registry"
+        # (or nothing but a version requirement), git deps carry "source".
+        if dep.get("path") is None:
+            bad.append("%s -> %s (%s)" % (pkg["name"], dep["name"], dep["req"]))
+print("\n".join(bad))
+')
+if [ -n "$violations" ]; then
+  echo "ERROR: non-path dependencies found:" >&2
+  echo "$violations" >&2
+  fail=1
+fi
+
+# 2. The lockfile must not pin anything from a registry or git source.
+if grep -E '^source = ' Cargo.lock >/dev/null 2>&1; then
+  echo "ERROR: Cargo.lock pins non-path sources:" >&2
+  grep -B2 '^source = ' Cargo.lock >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "OK: all dependencies resolve to in-repo paths (offline-safe)."
+fi
+exit "$fail"

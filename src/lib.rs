@@ -18,7 +18,10 @@
 //! * [`succinct`] — rank/select bit vectors, Elias–Fano, and the compressed
 //!   node directory of Section VI;
 //! * [`netsim`] — the discrete-event multi-server simulation of Section
-//!   VII-B.
+//!   VII-B;
+//! * [`serve`] — the sharded, lock-free-read serving runtime: atomic
+//!   snapshot swap, per-shard worker queues, admission control, latency
+//!   histograms feeding back into [`netsim`].
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
@@ -28,5 +31,6 @@ pub use broadmatch_corpus as corpus;
 pub use broadmatch_invidx as invidx;
 pub use broadmatch_memcost as memcost;
 pub use broadmatch_netsim as netsim;
+pub use broadmatch_serve as serve;
 pub use broadmatch_setcover as setcover;
 pub use broadmatch_succinct as succinct;

@@ -24,8 +24,10 @@ fn generated_scenario(seed: u64) -> (AdCorpus, Workload, Vec<(String, AdInfo)>) 
 fn full_pipeline_generated_corpus_to_queries() {
     let (_corpus, workload, ads) = generated_scenario(1);
 
-    let mut config = IndexConfig::default();
-    config.remap = RemapMode::Full;
+    let config = IndexConfig {
+        remap: RemapMode::Full,
+        ..IndexConfig::default()
+    };
     let mut builder = IndexBuilder::with_config(config);
     for (phrase, info) in &ads {
         builder.add(phrase, *info).expect("valid phrase");
@@ -65,9 +67,11 @@ fn compressed_variants_preserve_results_and_save_space() {
     let (_, workload, ads) = generated_scenario(3);
 
     let build = |directory, compress| {
-        let mut config = IndexConfig::default();
-        config.directory = directory;
-        config.compress_nodes = compress;
+        let config = IndexConfig {
+            directory,
+            compress_nodes: compress,
+            ..IndexConfig::default()
+        };
         let mut builder = IndexBuilder::with_config(config);
         for (phrase, info) in &ads {
             builder.add(phrase, *info).expect("valid");
@@ -97,7 +101,12 @@ fn compressed_variants_preserve_results_and_save_space() {
     // Smaller everything.
     let ps = plain.stats();
     let cs = compact.stats();
-    assert!(cs.arena_bytes < ps.arena_bytes, "{} vs {}", cs.arena_bytes, ps.arena_bytes);
+    assert!(
+        cs.arena_bytes < ps.arena_bytes,
+        "{} vs {}",
+        cs.arena_bytes,
+        ps.arena_bytes
+    );
     assert!(
         cs.directory_bytes < ps.directory_bytes,
         "{} vs {}",
@@ -129,9 +138,9 @@ fn trackers_compose_across_the_pipeline() {
     assert!(counters.dtlb_misses > 0);
 
     // Feed measured-shape service times into the network simulation.
-    let per_query_ms =
-        counting.modeled_cost(&sponsored_search::memcost::CostModel::dram()) / trace.len() as f64
-            / 1e6;
+    let per_query_ms = counting.modeled_cost(&sponsored_search::memcost::CostModel::dram())
+        / trace.len() as f64
+        / 1e6;
     let cfg = TwoServerConfig::paper_like(
         ServiceDist::constant(0.1 + per_query_ms),
         ServiceDist::constant(0.35),

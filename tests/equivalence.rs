@@ -2,34 +2,17 @@
 //! in every remap mode, with either directory and codec, and both
 //! inverted-index baselines — returns exactly the same broad-match results
 //! as a naive reference scan.
+//!
+//! The randomized corpus sweeps are property-based; enable them with
+//! `cargo test --features proptest-tests`.
 
-use proptest::prelude::*;
 use sponsored_search::broadmatch::{
     AdInfo, DirectoryKind, IndexBuilder, IndexConfig, MatchType, RemapMode,
 };
-use sponsored_search::invidx::{ModifiedInvertedIndex, UnmodifiedInvertedIndex};
 
-/// Naive reference: tokenize + fold both sides, check subset.
-fn reference_broad_match(ads: &[(String, AdInfo)], query: &str) -> Vec<u64> {
-    use sponsored_search::broadmatch::{fold_duplicates, tokenize};
-    let q_tokens = tokenize(query);
-    let q_folded: std::collections::HashSet<String> = fold_duplicates(&q_tokens)
-        .iter()
-        .map(|t| t.key())
-        .collect();
-    let mut out: Vec<u64> = ads
-        .iter()
-        .filter(|(phrase, _)| {
-            let folded = fold_duplicates(&tokenize(phrase));
-            !folded.is_empty() && folded.iter().all(|t| q_folded.contains(&t.key()))
-        })
-        .map(|(_, info)| info.listing_id)
-        .collect();
-    out.sort_unstable();
-    out
-}
-
-fn all_index_variants(ads: &[(String, AdInfo)]) -> Vec<(String, sponsored_search::broadmatch::BroadMatchIndex)> {
+fn all_index_variants(
+    ads: &[(String, AdInfo)],
+) -> Vec<(String, sponsored_search::broadmatch::BroadMatchIndex)> {
     let mut variants = Vec::new();
     for remap in [
         RemapMode::None,
@@ -43,12 +26,14 @@ fn all_index_variants(ads: &[(String, AdInfo)]) -> Vec<(String, sponsored_search
             DirectoryKind::SortedArray,
         ] {
             for compress in [false, true] {
-                let mut config = IndexConfig::default();
-                config.remap = remap;
-                config.directory = directory;
-                config.compress_nodes = compress;
-                config.max_words = 3;
-                config.probe_cap = 1 << 20;
+                let config = IndexConfig {
+                    remap,
+                    directory,
+                    compress_nodes: compress,
+                    max_words: 3,
+                    probe_cap: 1 << 20,
+                    ..IndexConfig::default()
+                };
                 let mut builder = IndexBuilder::with_config(config);
                 for (phrase, info) in ads {
                     builder.add(phrase, *info).expect("valid phrase");
@@ -61,95 +46,117 @@ fn all_index_variants(ads: &[(String, AdInfo)]) -> Vec<(String, sponsored_search
     variants
 }
 
-/// Strategy: small corpora over a tiny vocabulary so word sharing (and
-/// therefore re-mapping, merging, collisions) is intense.
-fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u8..12, 1..6),
-        1..25,
-    )
-}
+#[cfg(feature = "proptest-tests")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use sponsored_search::invidx::{ModifiedInvertedIndex, UnmodifiedInvertedIndex};
 
-fn phrase_from(words: &[u8]) -> String {
-    words
-        .iter()
-        .map(|w| format!("w{w}"))
-        .collect::<Vec<_>>()
-        .join(" ")
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn every_variant_agrees_with_reference(
-        corpus in corpus_strategy(),
-        queries in proptest::collection::vec(proptest::collection::vec(0u8..12, 1..7), 1..12),
-    ) {
-        let ads: Vec<(String, AdInfo)> = corpus
+    /// Naive reference: tokenize + fold both sides, check subset.
+    fn reference_broad_match(ads: &[(String, AdInfo)], query: &str) -> Vec<u64> {
+        use sponsored_search::broadmatch::{fold_duplicates, tokenize};
+        let q_tokens = tokenize(query);
+        let q_folded: std::collections::HashSet<String> =
+            fold_duplicates(&q_tokens).iter().map(|t| t.key()).collect();
+        let mut out: Vec<u64> = ads
             .iter()
-            .enumerate()
-            .map(|(i, words)| (phrase_from(words), AdInfo::with_bid(i as u64 + 1, 10)))
+            .filter(|(phrase, _)| {
+                let folded = fold_duplicates(&tokenize(phrase));
+                !folded.is_empty() && folded.iter().all(|t| q_folded.contains(&t.key()))
+            })
+            .map(|(_, info)| info.listing_id)
             .collect();
+        out.sort_unstable();
+        out
+    }
 
-        let variants = all_index_variants(&ads);
-        let unmodified = UnmodifiedInvertedIndex::build(&ads).expect("valid");
-        let modified = ModifiedInvertedIndex::build(&ads).expect("valid");
+    /// Strategy: small corpora over a tiny vocabulary so word sharing (and
+    /// therefore re-mapping, merging, collisions) is intense.
+    fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        proptest::collection::vec(proptest::collection::vec(0u8..12, 1..6), 1..25)
+    }
 
-        for q_words in &queries {
-            let query = phrase_from(q_words);
-            let expected = reference_broad_match(&ads, &query);
+    fn phrase_from(words: &[u8]) -> String {
+        words
+            .iter()
+            .map(|w| format!("w{w}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
 
-            for (label, index) in &variants {
-                let mut got: Vec<u64> = index
-                    .query(&query, MatchType::Broad)
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn every_variant_agrees_with_reference(
+            corpus in corpus_strategy(),
+            queries in proptest::collection::vec(proptest::collection::vec(0u8..12, 1..7), 1..12),
+        ) {
+            let ads: Vec<(String, AdInfo)> = corpus
+                .iter()
+                .enumerate()
+                .map(|(i, words)| (phrase_from(words), AdInfo::with_bid(i as u64 + 1, 10)))
+                .collect();
+
+            let variants = all_index_variants(&ads);
+            let unmodified = UnmodifiedInvertedIndex::build(&ads).expect("valid");
+            let modified = ModifiedInvertedIndex::build(&ads).expect("valid");
+
+            for q_words in &queries {
+                let query = phrase_from(q_words);
+                let expected = reference_broad_match(&ads, &query);
+
+                for (label, index) in &variants {
+                    let mut got: Vec<u64> = index
+                        .query(&query, MatchType::Broad)
+                        .iter()
+                        .map(|h| h.info.listing_id)
+                        .collect();
+                    got.sort_unstable();
+                    prop_assert_eq!(&got, &expected, "variant {} on query {:?}", label, &query);
+                }
+                let mut got: Vec<u64> = unmodified
+                    .query_broad(&query)
                     .iter()
                     .map(|h| h.info.listing_id)
                     .collect();
                 got.sort_unstable();
-                prop_assert_eq!(&got, &expected, "variant {} on query {:?}", label, &query);
+                prop_assert_eq!(&got, &expected, "unmodified baseline on {:?}", &query);
+
+                let mut got: Vec<u64> = modified
+                    .query_broad(&query)
+                    .iter()
+                    .map(|h| h.info.listing_id)
+                    .collect();
+                got.sort_unstable();
+                prop_assert_eq!(&got, &expected, "modified baseline on {:?}", &query);
             }
-            let mut got: Vec<u64> = unmodified
-                .query_broad(&query)
-                .iter()
-                .map(|h| h.info.listing_id)
-                .collect();
-            got.sort_unstable();
-            prop_assert_eq!(&got, &expected, "unmodified baseline on {:?}", &query);
-
-            let mut got: Vec<u64> = modified
-                .query_broad(&query)
-                .iter()
-                .map(|h| h.info.listing_id)
-                .collect();
-            got.sort_unstable();
-            prop_assert_eq!(&got, &expected, "modified baseline on {:?}", &query);
         }
-    }
 
-    #[test]
-    fn every_broad_hit_is_a_subset_of_the_query(
-        corpus in corpus_strategy(),
-        q_words in proptest::collection::vec(0u8..12, 1..8),
-    ) {
-        let ads: Vec<(String, AdInfo)> = corpus
-            .iter()
-            .enumerate()
-            .map(|(i, words)| (phrase_from(words), AdInfo::with_bid(i as u64 + 1, 10)))
-            .collect();
-        let mut builder = IndexBuilder::new();
-        for (phrase, info) in &ads {
-            builder.add(phrase, *info).expect("valid");
-        }
-        let index = builder.build().expect("valid");
+        #[test]
+        fn every_broad_hit_is_a_subset_of_the_query(
+            corpus in corpus_strategy(),
+            q_words in proptest::collection::vec(0u8..12, 1..8),
+        ) {
+            let ads: Vec<(String, AdInfo)> = corpus
+                .iter()
+                .enumerate()
+                .map(|(i, words)| (phrase_from(words), AdInfo::with_bid(i as u64 + 1, 10)))
+                .collect();
+            let mut builder = IndexBuilder::new();
+            for (phrase, info) in &ads {
+                builder.add(phrase, *info).expect("valid");
+            }
+            let index = builder.build().expect("valid");
 
-        let query = phrase_from(&q_words);
-        let q_set: std::collections::HashSet<u8> = q_words.iter().copied().collect();
-        for hit in index.query(&query, MatchType::Broad) {
-            let (phrase, _) = &ads[(hit.info.listing_id - 1) as usize];
-            for word in phrase.split_whitespace() {
-                let id: u8 = word[1..].parse().expect("wN format");
-                prop_assert!(q_set.contains(&id), "hit {:?} not within query {:?}", phrase, &query);
+            let query = phrase_from(&q_words);
+            let q_set: std::collections::HashSet<u8> = q_words.iter().copied().collect();
+            for hit in index.query(&query, MatchType::Broad) {
+                let (phrase, _) = &ads[(hit.info.listing_id - 1) as usize];
+                for word in phrase.split_whitespace() {
+                    let id: u8 = word[1..].parse().expect("wN format");
+                    prop_assert!(q_set.contains(&id), "hit {:?} not within query {:?}", phrase, &query);
+                }
             }
         }
     }

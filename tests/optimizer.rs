@@ -2,10 +2,7 @@
 //! corpora, and the model-predicted cost ordering matches the paper's
 //! claims.
 
-use proptest::prelude::*;
-use sponsored_search::broadmatch::{
-    AdInfo, IndexBuilder, IndexConfig, QueryWorkload, RemapMode,
-};
+use sponsored_search::broadmatch::{IndexBuilder, IndexConfig, QueryWorkload, RemapMode};
 use sponsored_search::corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
 
 fn build_index(
@@ -14,9 +11,11 @@ fn build_index(
     remap: RemapMode,
     max_words: usize,
 ) -> sponsored_search::broadmatch::BroadMatchIndex {
-    let mut config = IndexConfig::default();
-    config.remap = remap;
-    config.max_words = max_words;
+    let config = IndexConfig {
+        remap,
+        max_words,
+        ..IndexConfig::default()
+    };
     let mut builder = IndexBuilder::with_config(config);
     for ad in corpus.ads() {
         builder.add(&ad.phrase, ad.info).expect("valid phrase");
@@ -30,7 +29,11 @@ fn mapping_invariants_hold_on_generated_corpora() {
     for seed in [1u64, 2, 3] {
         let corpus = AdCorpus::generate(CorpusConfig::small(seed));
         let workload = Workload::generate(QueryGenConfig::small(seed), &corpus);
-        for remap in [RemapMode::LongOnly, RemapMode::Full, RemapMode::FullWithWithdrawals] {
+        for remap in [
+            RemapMode::LongOnly,
+            RemapMode::Full,
+            RemapMode::FullWithWithdrawals,
+        ] {
             let index = build_index(&corpus, &workload, remap, 4);
             let mapping = index.mapping();
             mapping
@@ -98,33 +101,42 @@ fn remapping_never_changes_results_on_generated_workloads() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+#[cfg(feature = "proptest-tests")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use sponsored_search::broadmatch::AdInfo;
 
-    /// Long phrases are always findable regardless of max_words: the
-    /// Section IV-B re-mapping invariant.
-    #[test]
-    fn long_phrases_stay_reachable(max_words in 1usize..6, seed in 0u64..1000) {
-        let mut config = IndexConfig::default();
-        config.max_words = max_words;
-        config.remap = RemapMode::LongOnly;
-        config.probe_cap = 1 << 20;
-        let mut builder = IndexBuilder::with_config(config);
-        // One long phrase plus filler.
-        let long = "alpha beta gamma delta epsilon zeta eta theta";
-        builder.add(long, AdInfo::with_bid(99, 10)).expect("valid");
-        for i in 0..(seed % 20) {
-            builder
-                .add(&format!("filler{i} alpha"), AdInfo::with_bid(i, 5))
-                .expect("valid");
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Long phrases are always findable regardless of max_words: the
+        /// Section IV-B re-mapping invariant.
+        #[test]
+        fn long_phrases_stay_reachable(max_words in 1usize..6, seed in 0u64..1000) {
+            let config = IndexConfig {
+                max_words,
+                remap: RemapMode::LongOnly,
+                probe_cap: 1 << 20,
+                ..IndexConfig::default()
+            };
+            let mut builder = IndexBuilder::with_config(config);
+            // One long phrase plus filler.
+            let long = "alpha beta gamma delta epsilon zeta eta theta";
+            builder.add(long, AdInfo::with_bid(99, 10)).expect("valid");
+            for i in 0..(seed % 20) {
+                builder
+                    .add(&format!("filler{i} alpha"), AdInfo::with_bid(i, 5))
+                    .expect("valid");
+            }
+            let index = builder.build().expect("valid");
+            let query = format!("{long} iota kappa");
+            let hits = index.query(&query, sponsored_search::broadmatch::MatchType::Broad);
+            prop_assert!(
+                hits.iter().any(|h| h.info.listing_id == 99),
+                "long phrase lost at max_words={}",
+                max_words
+            );
         }
-        let index = builder.build().expect("valid");
-        let query = format!("{long} iota kappa");
-        let hits = index.query(&query, sponsored_search::broadmatch::MatchType::Broad);
-        prop_assert!(
-            hits.iter().any(|h| h.info.listing_id == 99),
-            "long phrase lost at max_words={}",
-            max_words
-        );
     }
 }

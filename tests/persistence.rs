@@ -7,10 +7,12 @@ use sponsored_search::broadmatch::{
 use sponsored_search::corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
 
 fn build(corpus: &AdCorpus, directory: DirectoryKind, compress: bool) -> BroadMatchIndex {
-    let mut config = IndexConfig::default();
-    config.directory = directory;
-    config.compress_nodes = compress;
-    config.remap = RemapMode::Full;
+    let config = IndexConfig {
+        directory,
+        compress_nodes: compress,
+        remap: RemapMode::Full,
+        ..IndexConfig::default()
+    };
     let mut builder = IndexBuilder::with_config(config);
     for ad in corpus.ads() {
         builder.add(&ad.phrase, ad.info).expect("valid phrase");
@@ -74,8 +76,11 @@ fn every_flipped_byte_is_detected_or_harmless() {
     // checksum — silent corruption is the only unacceptable outcome.
     let mut b = IndexBuilder::new();
     for i in 0..50u32 {
-        b.add(&format!("word{} extra{}", i % 7, i), AdInfo::with_bid(i as u64, 5))
-            .unwrap();
+        b.add(
+            &format!("word{} extra{}", i % 7, i),
+            AdInfo::with_bid(i as u64, 5),
+        )
+        .unwrap();
     }
     let index = b.build().unwrap();
     let mut buf = Vec::new();

@@ -1,0 +1,731 @@
+//! A small, dependency-free property-testing harness exposing the subset of
+//! the real `proptest` crate's API that this workspace uses.
+//!
+//! The workspace must resolve and run its tests with **no network access**,
+//! so the property tests (gated behind each crate's `proptest-tests`
+//! feature) compile against this shim instead of crates.io. It keeps the
+//! essential behavior — deterministic pseudo-random generation of many cases
+//! per test, strategy combinators, `prop_assert!` reporting — and drops what
+//! the tests here don't need (shrinking, persistence, forking).
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ..) {..} }`
+//! * integer-range strategies (`0u8..10`), `any::<bool>()`, `Just(v)`,
+//!   tuple strategies, `.prop_map(..)`, `prop_oneof![w => s, ..]`
+//! * `proptest::collection::vec(s, len_range)` and `btree_map(k, v, range)`
+//! * regex-ish string strategies (`"[x-z]{1,8}( [x-z]{1,8}){0,4}"`, `"\\PC{0,50}"`)
+//! * `prop_assert!` / `prop_assert_eq!` with optional format messages
+//!
+//! Failures report the case number and the `PROPTEST_SEED` to reproduce the
+//! run (no shrinking: the failing values are printed by the assertion text).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// RNG (inlined SplitMix64 so the shim stays standalone)
+// ---------------------------------------------------------------------------
+
+/// The deterministic RNG driving test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        // Multiply-shift; bias is negligible for test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Build the per-test RNG: seed from `PROPTEST_SEED` if set, else a stable
+/// hash of the test's path, so runs are reproducible by default.
+pub fn test_rng(test_path: &str) -> TestRng {
+    let env_seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok());
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::new(env_seed.unwrap_or(0x5EED_0000_0000_0000) ^ h)
+}
+
+// ---------------------------------------------------------------------------
+// Config and errors
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property (carried by `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values for one test argument.
+pub trait Strategy: Sized {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// `.prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of strategies (`prop_oneof!`).
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union over weighted variants.
+    ///
+    /// # Panics
+    /// Panics if `variants` is empty or all weights are zero.
+    pub fn new(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = variants.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof needs positive total weight");
+        Union { variants, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.variants {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum covered")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`, `btree_map`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length range for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi_exclusive - self.lo) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeMap`s (sizes are approximate: duplicate keys
+    /// collapse, as in real proptest's minimum-size handling).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` strategy with entry counts drawn from `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-ish string strategies
+// ---------------------------------------------------------------------------
+
+/// String strategies from a regex-like pattern. Supports the subset used in
+/// this workspace: literals, `[a-z]` classes, `( .. )` groups, `{m,n}`
+/// repetition, and the `\PC` printable-character class.
+mod strings {
+    use super::{Strategy, TestRng};
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Printable,
+        Group(Vec<Piece>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pieces(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        in_group: bool,
+    ) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if in_group && c == ')' {
+                chars.next();
+                break;
+            }
+            chars.next();
+            let atom = match c {
+                '(' => Atom::Group(parse_pieces(chars, true)),
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    while let Some(cc) = chars.next() {
+                        if cc == ']' {
+                            break;
+                        }
+                        if cc == '-' {
+                            if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                                if hi != ']' {
+                                    chars.next();
+                                    ranges.pop();
+                                    ranges.push((lo, hi));
+                                    prev = None;
+                                    continue;
+                                }
+                            }
+                        }
+                        ranges.push((cc, cc));
+                        prev = Some(cc);
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => match chars.next() {
+                    Some('P') | Some('p') => {
+                        // \PC / \pC etc.: treat any one-letter class as
+                        // "printable character".
+                        chars.next();
+                        Atom::Printable
+                    }
+                    Some(esc) => Atom::Literal(esc),
+                    None => Atom::Literal('\\'),
+                },
+                other => Atom::Literal(other),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for cc in chars.by_ref() {
+                    if cc == '}' {
+                        break;
+                    }
+                    spec.push(cc);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(8)),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else if chars.peek() == Some(&'*') {
+                chars.next();
+                (0, 8)
+            } else if chars.peek() == Some(&'+') {
+                chars.next();
+                (1, 8)
+            } else if chars.peek() == Some(&'?') {
+                chars.next();
+                (0, 1)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Mostly-ASCII printable pool with a sprinkle of multi-byte characters
+    /// so `\PC` genuinely exercises unicode paths.
+    const PRINTABLE_EXTRA: &[char] = &['é', 'ß', '中', '文', 'λ', 'Ω', '–', '✓'];
+
+    fn gen_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Printable => {
+                // 1/8 of draws pick a non-ASCII printable char.
+                if rng.below(8) == 0 {
+                    let i = rng.below(PRINTABLE_EXTRA.len() as u64) as usize;
+                    out.push(PRINTABLE_EXTRA[i]);
+                } else {
+                    out.push((0x20 + rng.below(0x5f) as u8) as char); // ' '..='~'
+                }
+            }
+            Atom::Class(ranges) => {
+                if ranges.is_empty() {
+                    return;
+                }
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo);
+                out.push(c);
+            }
+            Atom::Group(pieces) => {
+                for p in pieces {
+                    gen_piece(p, rng, out);
+                }
+            }
+        }
+    }
+
+    fn gen_piece(piece: &Piece, rng: &mut TestRng, out: &mut String) {
+        let reps = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..reps {
+            gen_atom(&piece.atom, rng, out);
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let pieces = parse_pieces(&mut self.chars().peekable(), false);
+            let mut out = String::new();
+            for p in &pieces {
+                gen_piece(p, rng, &mut out);
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// The test-definition macro. Mirrors real proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///     #[test]
+///     fn my_prop(x in 0u8..10, ys in proptest::collection::vec(0u8..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` in a `proptest!` block.
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let seed_path = concat!(module_path!(), "::", stringify!($name));
+            let mut rng = $crate::test_rng(seed_path);
+            for case in 0..cfg.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property failed at case {}/{} (set PROPTEST_SEED to vary; test {}): {}",
+                        case + 1, cfg.cases, seed_path, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Weighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_generate_in_bounds() {
+        let mut rng = crate::test_rng("self-test");
+        for _ in 0..200 {
+            let x = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let v = Strategy::generate(&crate::collection::vec(0u64..5, 1..4), &mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+            assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn string_strategies_respect_shape() {
+        let mut rng = crate::test_rng("strings");
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[x-z]{1,8}( [x-z]{1,8}){0,4}", &mut rng);
+            assert!(!s.is_empty());
+            for word in s.split(' ') {
+                assert!(word.chars().all(|c| ('x'..='z').contains(&c)), "{s:?}");
+                assert!((1..=8).contains(&word.chars().count()), "{s:?}");
+            }
+            let p = Strategy::generate(&"\\PC{1,30}", &mut rng);
+            let n = p.chars().count();
+            assert!((1..=30).contains(&n), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights_roughly() {
+        let strat = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = crate::test_rng("weights");
+        let ones = (0..1000)
+            .filter(|_| Strategy::generate(&strat, &mut rng) == 1)
+            .count();
+        assert!(ones > 800, "got {ones} ones");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(mut xs in crate::collection::vec(0u32..100, 0..20), flag in any::<bool>()) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            // prop_assert_eq exercises the message plumbing.
+            prop_assert_eq!(flag as u8 * 2, flag as u8 + flag as u8, "identity with {:?}", flag);
+        }
+
+        #[test]
+        fn tuples_and_maps(
+            pair in (0u8..4, 10u64..20),
+            m in crate::collection::btree_map(0u64..50, 1u64..5, 0..10),
+        ) {
+            prop_assert!(pair.0 < 4 && pair.1 >= 10);
+            prop_assert!(m.len() < 10);
+        }
+    }
+}

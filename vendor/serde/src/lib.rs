@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace must resolve and build with **no network access**, so the
+//! optional `serde` feature of `broadmatch` / `broadmatch-corpus` is wired to
+//! this inert shim instead of the crates.io package: `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` compile (and accept `#[serde(...)]` field
+//! attributes) but generate no code — the repo's own persistence layer
+//! (`broadmatch::persist`, corpus TSV I/O) never goes through serde.
+//!
+//! Deployments that do want real serde support replace the `vendor/serde`
+//! path dependency with the registry crate; every derive site is already
+//! annotated correctly for it.
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`: accepts the input (including `#[serde]`
+/// helper attributes) and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`: accepts the input (including `#[serde]`
+/// helper attributes) and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
