@@ -8,7 +8,7 @@
 use broadmatch_bench::experiments::*;
 use broadmatch_bench::Scale;
 
-const USAGE: &str = "usage: experiments <id>... [--scale small|medium|large] [--seed N]
+const USAGE: &str = "usage: experiments <id>... [--scale small|medium|large] [--seed N] [--tiny]
 
 experiment ids:
   fig1             bid phrase length histogram           (Fig. 1)
@@ -20,6 +20,7 @@ experiment ids:
   modified-bytes   modified-index data volume            (Sec. VII-A)
   multiserver      two-server deployment + latency dist  (Sec. VII-B, Fig. 9)
   serve-throughput serving-runtime shard/worker sweep + netsim calibration
+  cost-model-fit   predicted vs measured query cost      (Sec. IV-A; --tiny for smoke runs)
   fig10            re-mapping variants                   (Fig. 10)
   counters         simulated hardware counters           (Sec. VII-C)
   compression      node + directory compression          (Sec. VI)
@@ -32,10 +33,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Medium;
     let mut seed = 42u64;
+    let mut tiny = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--tiny" => tiny = true,
             "--scale" => {
                 i += 1;
                 scale = args
@@ -76,6 +79,7 @@ fn main() {
             "modified-bytes",
             "multiserver",
             "serve-throughput",
+            "cost-model-fit",
             "fig10",
             "counters",
             "compression",
@@ -119,6 +123,9 @@ fn main() {
             }
             "serve-throughput" => {
                 serve_throughput::run(scale, seed);
+            }
+            "cost-model-fit" => {
+                cost_model_fit::run(scale, seed, tiny);
             }
             "fig10" => {
                 remap::fig10(scale, seed);

@@ -11,6 +11,7 @@
 //! | `modified-bytes` | §VII-A modified-index data volume | [`bytes::modified_bytes`] |
 //! | `multiserver` | §VII-B + Fig. 9 | [`multiserver::run`] |
 //! | `serve-throughput` | serving-runtime shard×worker sweep + netsim calibration | [`serve_throughput::run`] |
+//! | `cost-model-fit` | §IV-A predicted vs measured cost | [`cost_model_fit::run`] |
 //! | `fig10` | Fig. 10 re-mapping variants | [`remap::fig10`] |
 //! | `counters` | §VII-C hardware counters | [`counters::run`] |
 //! | `compression` | §VI compression example | [`compression::run`] |
@@ -20,6 +21,7 @@
 pub mod ablations;
 pub mod bytes;
 pub mod compression;
+pub mod cost_model_fit;
 pub mod counters;
 pub mod distributions;
 pub mod extensions;

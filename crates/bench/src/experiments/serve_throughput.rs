@@ -41,6 +41,10 @@ pub struct ServeCell {
     pub p95_ms: f64,
     /// Queries refused by admission control (each later retried).
     pub rejected: u64,
+    /// Rejected / (accepted + rejected) over the replay.
+    pub reject_ratio: f64,
+    /// Per-shard reject attribution (which full queue refused the query).
+    pub shard_rejects: Vec<u64>,
 }
 
 /// Sweep results plus the netsim calibration outcome.
@@ -53,6 +57,9 @@ pub struct ServeThroughputReport {
     /// Simulated two-server capacity using service times measured on the
     /// reference pool configuration.
     pub predicted_qps: f64,
+    /// Throughput cost of tracing every query vs tracing none, percent
+    /// (positive = tracing is slower). Target: under 5%.
+    pub telemetry_overhead_pct: f64,
 }
 
 /// Build the serving corpus — 100K ads at the default scale, smaller for
@@ -98,6 +105,7 @@ fn run_cell(
     trace: &[String],
     n_shards: usize,
     n_workers: usize,
+    trace_sample_every: u64,
 ) -> (ServeCell, ServeMetrics) {
     let runtime = ServeRuntime::start(
         Arc::clone(index),
@@ -106,6 +114,7 @@ fn run_cell(
             n_workers,
             queue_capacity: 512,
             batch_size: 8,
+            trace_sample_every,
         },
     );
     let next = AtomicUsize::new(0);
@@ -134,6 +143,7 @@ fn run_cell(
     });
     let wall = start.elapsed().as_secs_f64();
     let metrics = runtime.metrics();
+    let attempts = metrics.accepted + metrics.rejected;
     let cell = ServeCell {
         n_shards,
         n_workers,
@@ -141,6 +151,8 @@ fn run_cell(
         mean_ms: metrics.query_latency.mean_ms(),
         p95_ms: metrics.query_latency.percentile_ms(0.95),
         rejected: rejected.load(Relaxed),
+        reject_ratio: metrics.rejected as f64 / attempts.max(1) as f64,
+        shard_rejects: metrics.shard_rejects.clone(),
     };
     (cell, metrics)
 }
@@ -170,9 +182,18 @@ pub fn run(scale: Scale, seed: u64) -> ServeThroughputReport {
     let grid: &[(usize, usize)] = &[(1, 1), (2, 2), (4, 1), (4, 2), (4, 4), (2, 4), (8, 4)];
     let mut cells = Vec::with_capacity(grid.len());
     let mut reference: Option<ServeMetrics> = None;
-    let mut t = Table::new(&["shards", "workers", "qps", "mean ms", "p95 ms", "rejected"]);
+    let mut t = Table::new(&[
+        "shards",
+        "workers",
+        "qps",
+        "mean ms",
+        "p95 ms",
+        "rejected",
+        "rej ratio",
+        "rej by shard",
+    ]);
     for &(n_shards, n_workers) in grid {
-        let (cell, metrics) = run_cell(&index, &trace, n_shards, n_workers);
+        let (cell, metrics) = run_cell(&index, &trace, n_shards, n_workers, 64);
         t.row_owned(vec![
             cell.n_shards.to_string(),
             cell.n_workers.to_string(),
@@ -180,6 +201,8 @@ pub fn run(scale: Scale, seed: u64) -> ServeThroughputReport {
             format!("{:.3}", cell.mean_ms),
             format!("{:.3}", cell.p95_ms),
             cell.rejected.to_string(),
+            format!("{:.4}", cell.reject_ratio),
+            format!("{:?}", cell.shard_rejects),
         ]);
         if (n_shards, n_workers) == (4, 4) {
             reference = Some(metrics);
@@ -189,6 +212,26 @@ pub fn run(scale: Scale, seed: u64) -> ServeThroughputReport {
     t.print();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("(host exposes {cores} core(s); worker scaling requires cores >= workers)\n");
+
+    // Telemetry overhead: replay the reference cell with per-query span
+    // tracing fully disabled, at the shipped 1-in-64 sampling default, and
+    // tracing every query (the worst case). The registry counters
+    // themselves cannot be turned off — they ARE the product — so this
+    // bounds the cost of the optional tracer layer. The default-sampling
+    // delta is the one the <5% budget applies to.
+    let (cell_off, _) = run_cell(&index, &trace, 4, 4, 0);
+    let (cell_dflt, _) = run_cell(&index, &trace, 4, 4, 64);
+    let (cell_all, _) = run_cell(&index, &trace, 4, 4, 1);
+    let overhead_pct = (cell_off.qps - cell_dflt.qps) / cell_off.qps * 100.0;
+    let overhead_all_pct = (cell_off.qps - cell_all.qps) / cell_off.qps * 100.0;
+    println!(
+        "telemetry overhead at 4x4: {} qps untraced vs {} qps at default 1-in-64 \
+         sampling ({overhead_pct:+.1}% delta; target < 5%) vs {} qps tracing every \
+         query ({overhead_all_pct:+.1}%, worst case)\n",
+        fi(cell_off.qps),
+        fi(cell_dflt.qps),
+        fi(cell_all.qps),
+    );
 
     // Calibration: measured service times -> the §VII-B deployment model.
     // Primary path: the latency reservoir at full resolution; the 5 ms
@@ -230,6 +273,7 @@ pub fn run(scale: Scale, seed: u64) -> ServeThroughputReport {
         direct_qps,
         cells,
         predicted_qps: report.throughput_qps,
+        telemetry_overhead_pct: overhead_pct,
     }
 }
 
@@ -243,6 +287,12 @@ mod tests {
         assert!(r.direct_qps > 0.0);
         assert_eq!(r.cells.len(), 7);
         assert!(r.cells.iter().all(|c| c.qps > 0.0));
+        assert!(r.cells.iter().all(|c| c.shard_rejects.len() == c.n_shards));
+        assert!(r
+            .cells
+            .iter()
+            .all(|c| (0.0..=1.0).contains(&c.reject_ratio)));
+        assert!(r.telemetry_overhead_pct.is_finite());
         assert!(
             r.predicted_qps > 0.0,
             "calibration produced a capacity estimate"

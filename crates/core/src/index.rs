@@ -6,7 +6,7 @@ use crate::arena::Arena;
 use crate::build::IndexConfig;
 use crate::costmodel::{evaluate_mapping, MappingCost};
 use crate::directory::NodeDirectory;
-use crate::node::{scan_node, Codec, ScanScratch};
+use crate::node::{scan_node, Codec, ScanScratch, ScanSummary};
 use crate::optimize::{Mapping, MappingStats};
 use crate::text::{fold_duplicates, tokenize};
 use crate::wordset::is_sorted_subset;
@@ -99,6 +99,12 @@ pub struct ScannedNode {
     /// Hits this node produced under the plan's match semantics (exclusion
     /// filtering is deferred to [`BroadMatchIndex::finish_query`]).
     pub hits: Vec<MatchHit>,
+    /// What the scan physically did (entries/ads decoded, bytes consumed,
+    /// early termination) — deterministic per extent, so cross-batch
+    /// deduplication can aggregate from either copy.
+    pub(crate) summary: ScanSummary,
+    /// Whether this node is a shared (set-cover re-mapped) node.
+    pub(crate) remapped: bool,
 }
 
 /// Result of executing a slice of a plan's probes
@@ -129,6 +135,21 @@ pub struct QueryStats {
     pub truncated: bool,
     /// Matching ads returned (after exclusion filtering).
     pub hits: usize,
+    /// Word-set entries decoded across all scanned nodes (including
+    /// non-matching entries the scan passed over).
+    pub entries_examined: usize,
+    /// Ads decoded across all scanned nodes.
+    pub ads_examined: usize,
+    /// Bytes consumed by sequential node scans — the `m` the paper's
+    /// `Cost_Scan(m)` prices.
+    pub scanned_bytes: usize,
+    /// Scans cut short by the `word_count > |Q|` early-termination rule.
+    pub early_terminations: usize,
+    /// Scanned nodes that were shared (set-cover re-mapped) nodes.
+    pub remapped_nodes: usize,
+    /// Bytes scanned inside re-mapped nodes (the sequential-scan overhead
+    /// the re-mapping trades against probe savings).
+    pub remapped_scan_bytes: usize,
 }
 
 /// Size and shape statistics of a built index.
@@ -170,6 +191,11 @@ pub struct BroadMatchIndex {
     /// Per-ad exclusion word sets (paper, Section I): an ad is suppressed
     /// when any of its exclusion words occurs in the query.
     exclusions: std::collections::HashMap<AdId, WordSet, crate::hash::FxBuildHasher>,
+    /// Arena extents of shared (set-cover re-mapped) nodes, so query
+    /// execution can attribute scan work to re-mapping (telemetry only;
+    /// derived from the mapping at assembly and not maintained through
+    /// incremental mutations).
+    remapped_extents: std::collections::HashSet<(u32, u32), crate::hash::FxBuildHasher>,
 }
 
 impl BroadMatchIndex {
@@ -186,6 +212,23 @@ impl BroadMatchIndex {
         n_ads: u32,
         max_locator_len: usize,
     ) -> Self {
+        // A node is "re-mapped" when some group stores away from its own
+        // word set — the extent its locator resolves to is shared storage
+        // the greedy set cover chose (Section V).
+        let mut remapped_extents: std::collections::HashSet<
+            (u32, u32),
+            crate::hash::FxBuildHasher,
+        > = std::collections::HashSet::default();
+        for (g, words) in group_words.iter().enumerate() {
+            let locator = mapping.locator(g);
+            if locator != words {
+                if let Some(extent) =
+                    directory.lookup(crate::wordhash(locator.ids()), &mut NullTracker)
+                {
+                    remapped_extents.insert(extent);
+                }
+            }
+        }
         BroadMatchIndex {
             config,
             vocab,
@@ -198,6 +241,7 @@ impl BroadMatchIndex {
             n_ads,
             max_locator_len,
             exclusions: std::collections::HashMap::default(),
+            remapped_extents,
         }
     }
 
@@ -364,7 +408,7 @@ impl BroadMatchIndex {
 
             let mut hits = Vec::new();
             let bytes = self.arena.slice(start as usize, end as usize);
-            match plan.match_type {
+            let summary = match plan.match_type {
                 MatchType::Broad => scan_node(
                     bytes,
                     start as u64,
@@ -408,11 +452,13 @@ impl BroadMatchIndex {
                         }
                     },
                 ),
-            }
+            };
             batch.nodes.push(ScannedNode {
                 extent: (start, end),
                 first_probe: idx,
                 hits,
+                summary,
+                remapped: self.remapped_extents.contains(&(start, end)),
             });
         }
         batch
@@ -446,6 +492,21 @@ impl BroadMatchIndex {
         }
         nodes.sort_by_key(|n| n.first_probe);
         stats.nodes_visited = nodes.len();
+        // Scan detail accumulates from the deduplicated node set, so sharded
+        // gathers report exactly what a single-threaded run would (a node
+        // reached from two shards is still one scan's worth of work).
+        for node in &nodes {
+            stats.entries_examined += node.summary.entries as usize;
+            stats.ads_examined += node.summary.ads as usize;
+            stats.scanned_bytes += node.summary.bytes as usize;
+            if node.summary.early_terminated {
+                stats.early_terminations += 1;
+            }
+            if node.remapped {
+                stats.remapped_nodes += 1;
+                stats.remapped_scan_bytes += node.summary.bytes as usize;
+            }
+        }
 
         let mut hits: Vec<MatchHit> = nodes.into_iter().flat_map(|n| n.hits).collect();
         if !self.exclusions.is_empty() {

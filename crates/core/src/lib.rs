@@ -66,6 +66,7 @@ mod node;
 mod optimize;
 mod persist;
 mod stats;
+mod telemetry;
 mod text;
 mod types;
 mod vocab;
@@ -85,6 +86,7 @@ pub use node::{SITE_EARLY_TERM, SITE_ENTRY_MATCH, SITE_PROBE};
 pub use optimize::{Mapping, MappingStats};
 pub use persist::PersistError;
 pub use stats::CorpusStats;
+pub use telemetry::{probe_trace_stats, QueryCounters};
 pub use text::{fold_duplicates, tokenize, FoldedToken};
 pub use types::{AdId, AdInfo, WordId};
 pub use vocab::Vocabulary;

@@ -21,6 +21,7 @@ use crate::build::{DirectoryKind, IndexBuilder};
 use crate::directory::NodeDirectory;
 use crate::node::{encode_node, NodeEntry, PhraseGroup};
 use crate::optimize::synthetic_locator;
+use crate::telemetry::MaintainCounters;
 use crate::{AdId, AdInfo, BroadMatchIndex, BuildError, MatchHit, MatchType, WordSet};
 
 /// A broad-match index supporting concurrent queries and online updates.
@@ -49,6 +50,7 @@ use crate::{AdId, AdInfo, BroadMatchIndex, BuildError, MatchHit, MatchType, Word
 pub struct MaintainedIndex {
     inner: RwLock<BroadMatchIndex>,
     dead_bytes: RwLock<usize>,
+    counters: MaintainCounters,
 }
 
 impl MaintainedIndex {
@@ -67,6 +69,7 @@ impl MaintainedIndex {
         Ok(MaintainedIndex {
             inner: RwLock::new(index),
             dead_bytes: RwLock::new(0),
+            counters: MaintainCounters::global(),
         })
     }
 
@@ -174,6 +177,10 @@ impl MaintainedIndex {
             max_words
         };
         idx.note_locator_len(locator_len);
+        self.counters.inserts.inc();
+        self.counters
+            .dead_bytes
+            .set(*self.dead_bytes.read().expect("lock poisoned") as f64);
         Ok(ad_id)
     }
 
@@ -278,6 +285,11 @@ impl MaintainedIndex {
             }
         }
         idx.note_ads_removed(removed as u32);
+        self.counters.removes.inc();
+        self.counters.ads_removed.add(removed as u64);
+        self.counters
+            .dead_bytes
+            .set(*self.dead_bytes.read().expect("lock poisoned") as f64);
         removed
     }
 
@@ -302,6 +314,7 @@ impl MaintainedIndex {
     ///
     /// Ad ids are reassigned; listing ids in [`AdInfo`] are the stable keys.
     pub fn reoptimize(&self, workload: Option<Vec<(String, u64)>>) -> Result<(), BuildError> {
+        let started = std::time::Instant::now();
         let mut idx = self.inner.write().expect("index lock poisoned");
         let ads = idx.export_ads();
         let mut builder = IndexBuilder::with_config(*idx.config());
@@ -329,6 +342,11 @@ impl MaintainedIndex {
         }
         *idx = builder.build()?;
         *self.dead_bytes.write().expect("lock poisoned") = 0;
+        self.counters.reoptimizes.inc();
+        self.counters
+            .reoptimize_ms
+            .record(started.elapsed().as_secs_f64() * 1e3);
+        self.counters.dead_bytes.set(0.0);
         Ok(())
     }
 

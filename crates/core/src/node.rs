@@ -180,6 +180,20 @@ pub(crate) struct ScanScratch {
     prev_words: Vec<WordId>,
 }
 
+/// What one node scan physically did — the raw quantities the paper's
+/// scan-cost term `Cost_Scan(m)` prices and the telemetry layer exports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ScanSummary {
+    /// Entries decoded (including non-matching ones the scan passed over).
+    pub entries: u32,
+    /// Ads decoded across all phrase groups.
+    pub ads: u32,
+    /// Bytes consumed from the node's byte run.
+    pub bytes: u32,
+    /// Whether the `word_count > |Q|` rule cut the scan short.
+    pub early_terminated: bool,
+}
+
 /// Scan one node, invoking `on_ad` for every ad in entries whose word set
 /// passes `filter`, and stopping at the first entry with more than
 /// `max_word_count` words (the early-termination rule).
@@ -188,6 +202,8 @@ pub(crate) struct ScanScratch {
 /// accounted): the node is a contiguous byte run, so a scan physically
 /// passes over them — exactly the sequential-scan cost the paper's equation
 /// (2) charges.
+///
+/// Returns a [`ScanSummary`] of what the scan physically touched.
 #[allow(clippy::too_many_arguments)] // hot path: explicit args beat a params struct here
 pub(crate) fn scan_node<T, F, S>(
     bytes: &[u8],
@@ -198,11 +214,13 @@ pub(crate) fn scan_node<T, F, S>(
     tracker: &mut T,
     mut filter: F,
     mut on_ad: S,
-) where
+) -> ScanSummary
+where
     T: AccessTracker,
     F: FnMut(&[WordId]) -> bool,
     S: FnMut(&[WordId], &[WordId], AdId, AdInfo),
 {
+    let mut summary = ScanSummary::default();
     let mut cur = Cursor::new(bytes, base_addr, tracker);
     scratch.prev_words.clear();
     while cur.remaining() > 0 {
@@ -210,9 +228,12 @@ pub(crate) fn scan_node<T, F, S>(
         if word_count > max_word_count {
             // Entries are sorted by word count: nothing further can match.
             cur.tracker().branch(SITE_EARLY_TERM, true);
-            return;
+            summary.early_terminated = true;
+            summary.bytes = (bytes.len() - cur.remaining()) as u32;
+            return summary;
         }
         cur.tracker().branch(SITE_EARLY_TERM, false);
+        summary.entries += 1;
 
         scratch.words.clear();
         match codec {
@@ -303,12 +324,15 @@ pub(crate) fn scan_node<T, F, S>(
                         )
                     }
                 };
+                summary.ads += 1;
                 if matches {
                     on_ad(&scratch.words, &scratch.raw, ad_id, info);
                 }
             }
         }
     }
+    summary.bytes = (bytes.len() - cur.remaining()) as u32;
+    summary
 }
 
 /// Branch-site ids reported to the tracker (for the §VII-C branch counter).

@@ -280,6 +280,7 @@ pub(crate) fn remap_full(input: &OptimizerInput<'_>, withdrawals: bool) -> Mappi
     if n == 0 {
         return Mapping::new(Vec::new());
     }
+    let started = std::time::Instant::now();
     let acc = AccTable::build(input.workload, input.max_words, input.probe_cap);
     let group_index: HashMap<&WordSet, usize, FxBuildHasher> = input
         .groups
@@ -462,10 +463,18 @@ pub(crate) fn remap_full(input: &OptimizerInput<'_>, withdrawals: bool) -> Mappi
         input.max_words,
         input.probe_cap,
     );
-    if c_opt.breakdown.node_cost <= c_base.breakdown.node_cost {
-        optimized
-    } else {
+    let kept_baseline = c_opt.breakdown.node_cost > c_base.breakdown.node_cost;
+    crate::telemetry::record_remap_run(
+        if withdrawals { "withdrawals" } else { "greedy" },
+        candidates.len(),
+        solution.chosen.len(),
+        kept_baseline,
+        started.elapsed(),
+    );
+    if kept_baseline {
         baseline
+    } else {
+        optimized
     }
 }
 

@@ -1,0 +1,296 @@
+//! Registry-backed observability for the query and maintenance paths.
+//!
+//! [`QueryStats`] stays the cheap, `Copy`, bit-identical-across-shards
+//! per-query record; this module is the single place that folds those
+//! records into the shared `broadmatch-telemetry` registry, so core, the
+//! serving runtime and the experiment drivers all export one
+//! `broadmatch_*` metric family set instead of parallel hand-rolled stats
+//! structs.
+
+use std::sync::Arc;
+
+use broadmatch_telemetry::{Counter, Gauge, Histogram, ProbeTraceStats, Registry};
+
+use crate::QueryStats;
+
+/// Handles to the `broadmatch_*` query-side counter families.
+///
+/// Register once (per registry), then [`QueryCounters::record`] each
+/// query's [`QueryStats`] — a handful of relaxed atomic adds on the hot
+/// path.
+#[derive(Debug, Clone)]
+pub struct QueryCounters {
+    queries: Arc<Counter>,
+    probes: Arc<Counter>,
+    probe_hits: Arc<Counter>,
+    nodes_scanned: Arc<Counter>,
+    entries_examined: Arc<Counter>,
+    ads_examined: Arc<Counter>,
+    scan_bytes: Arc<Counter>,
+    early_terminations: Arc<Counter>,
+    remap_hits: Arc<Counter>,
+    remap_scan_bytes: Arc<Counter>,
+    truncated: Arc<Counter>,
+    hits: Arc<Counter>,
+}
+
+impl QueryCounters {
+    /// Register the `broadmatch_*` families in `registry` and return
+    /// handles (idempotent: re-registering returns the same counters).
+    pub fn register(registry: &Registry) -> Self {
+        QueryCounters {
+            queries: registry.counter(
+                "broadmatch_queries_total",
+                "Queries executed against the broad-match index",
+                &[],
+            ),
+            probes: registry.counter(
+                "broadmatch_probes_total",
+                "Directory hash probes issued (subset enumeration)",
+                &[],
+            ),
+            probe_hits: registry.counter(
+                "broadmatch_probe_hits_total",
+                "Directory probes that found a data node",
+                &[],
+            ),
+            nodes_scanned: registry.counter(
+                "broadmatch_nodes_scanned_total",
+                "Distinct data nodes scanned",
+                &[],
+            ),
+            entries_examined: registry.counter(
+                "broadmatch_entries_examined_total",
+                "Word-set entries decoded during node scans",
+                &[],
+            ),
+            ads_examined: registry.counter(
+                "broadmatch_ads_examined_total",
+                "Ads decoded during node scans",
+                &[],
+            ),
+            scan_bytes: registry.counter(
+                "broadmatch_scan_bytes_total",
+                "Bytes consumed by sequential node scans",
+                &[],
+            ),
+            early_terminations: registry.counter(
+                "broadmatch_early_terminations_total",
+                "Node scans cut short by the word-count early-termination rule",
+                &[],
+            ),
+            remap_hits: registry.counter(
+                "broadmatch_remap_hits_total",
+                "Scanned nodes that were shared (set-cover re-mapped) nodes",
+                &[],
+            ),
+            remap_scan_bytes: registry.counter(
+                "broadmatch_remap_scan_bytes_total",
+                "Bytes scanned inside re-mapped nodes",
+                &[],
+            ),
+            truncated: registry.counter(
+                "broadmatch_queries_truncated_total",
+                "Queries whose subset enumeration hit the probe cap",
+                &[],
+            ),
+            hits: registry.counter(
+                "broadmatch_hits_total",
+                "Matching ads returned after exclusion filtering",
+                &[],
+            ),
+        }
+    }
+
+    /// Fold one query's statistics into the counters.
+    pub fn record(&self, stats: &QueryStats) {
+        self.queries.inc();
+        self.probes.add(stats.probes as u64);
+        self.probe_hits.add(stats.probe_hits as u64);
+        self.nodes_scanned.add(stats.nodes_visited as u64);
+        self.entries_examined.add(stats.entries_examined as u64);
+        self.ads_examined.add(stats.ads_examined as u64);
+        self.scan_bytes.add(stats.scanned_bytes as u64);
+        self.early_terminations.add(stats.early_terminations as u64);
+        self.remap_hits.add(stats.remapped_nodes as u64);
+        self.remap_scan_bytes.add(stats.remapped_scan_bytes as u64);
+        if stats.truncated {
+            self.truncated.inc();
+        }
+        self.hits.add(stats.hits as u64);
+    }
+}
+
+/// Convert per-query statistics into the tracer's probe-trace form.
+pub fn probe_trace_stats(stats: &QueryStats) -> ProbeTraceStats {
+    ProbeTraceStats {
+        probes: stats.probes,
+        probe_hits: stats.probe_hits,
+        nodes_scanned: stats.nodes_visited,
+        entries_examined: stats.entries_examined,
+        ads_examined: stats.ads_examined,
+        scanned_bytes: stats.scanned_bytes,
+        early_terminations: stats.early_terminations,
+        remapped_nodes: stats.remapped_nodes,
+        remapped_scan_bytes: stats.remapped_scan_bytes,
+        truncated: stats.truncated,
+    }
+}
+
+/// Handles to the `broadmatch_maintain_*` families (index mutations).
+#[derive(Debug, Clone)]
+pub(crate) struct MaintainCounters {
+    pub inserts: Arc<Counter>,
+    pub removes: Arc<Counter>,
+    pub ads_removed: Arc<Counter>,
+    pub reoptimizes: Arc<Counter>,
+    pub reoptimize_ms: Arc<Histogram>,
+    pub dead_bytes: Arc<Gauge>,
+}
+
+impl MaintainCounters {
+    /// Register against the process-global registry (maintenance has no
+    /// natural registry to thread through).
+    pub(crate) fn global() -> Self {
+        let registry = Registry::global();
+        MaintainCounters {
+            inserts: registry.counter(
+                "broadmatch_maintain_inserts_total",
+                "Ads inserted through the maintenance path",
+                &[],
+            ),
+            removes: registry.counter(
+                "broadmatch_maintain_removes_total",
+                "Remove operations processed (broad-match-equivalent deletes)",
+                &[],
+            ),
+            ads_removed: registry.counter(
+                "broadmatch_maintain_ads_removed_total",
+                "Ads actually deleted by remove operations",
+                &[],
+            ),
+            reoptimizes: registry.counter(
+                "broadmatch_maintain_reoptimize_total",
+                "Periodic re-optimization rebuilds",
+                &[],
+            ),
+            reoptimize_ms: registry.histogram(
+                "broadmatch_maintain_reoptimize_ms",
+                "Wall-clock duration of re-optimization rebuilds",
+                &[],
+            ),
+            dead_bytes: registry.gauge(
+                "broadmatch_maintain_dead_bytes",
+                "Arena bytes orphaned by node rewrites since the last rebuild",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Record one greedy set-cover optimizer run against the global registry
+/// (`broadmatch_remap_*` families).
+pub(crate) fn record_remap_run(
+    mode: &str,
+    candidates: usize,
+    chosen: usize,
+    kept_baseline: bool,
+    duration: std::time::Duration,
+) {
+    let registry = Registry::global();
+    let labels = [("mode", mode)];
+    registry
+        .counter(
+            "broadmatch_remap_runs_total",
+            "Set-cover re-mapping optimizer runs",
+            &labels,
+        )
+        .inc();
+    registry
+        .counter(
+            "broadmatch_remap_candidates_total",
+            "Candidate node sets generated for the greedy cover",
+            &labels,
+        )
+        .add(candidates as u64);
+    registry
+        .counter(
+            "broadmatch_remap_chosen_total",
+            "Candidate sets chosen by the greedy cover",
+            &labels,
+        )
+        .add(chosen as u64);
+    if kept_baseline {
+        registry
+            .counter(
+                "broadmatch_remap_baseline_kept_total",
+                "Runs where the identity-style baseline beat the greedy cover",
+                &labels,
+            )
+            .inc();
+    }
+    registry
+        .histogram(
+            "broadmatch_remap_duration_ms",
+            "Wall-clock duration of optimizer runs",
+            &labels,
+        )
+        .record(duration.as_secs_f64() * 1e3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_counters_accumulate_stats() {
+        let registry = Registry::new();
+        let counters = QueryCounters::register(&registry);
+        counters.record(&QueryStats {
+            probes: 7,
+            probe_hits: 3,
+            nodes_visited: 2,
+            truncated: true,
+            hits: 4,
+            entries_examined: 9,
+            ads_examined: 11,
+            scanned_bytes: 123,
+            early_terminations: 1,
+            remapped_nodes: 1,
+            remapped_scan_bytes: 60,
+        });
+        counters.record(&QueryStats::default());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("broadmatch_queries_total", ""), Some(2));
+        assert_eq!(snap.counter("broadmatch_probes_total", ""), Some(7));
+        assert_eq!(snap.counter("broadmatch_scan_bytes_total", ""), Some(123));
+        assert_eq!(snap.counter("broadmatch_remap_hits_total", ""), Some(1));
+        assert_eq!(
+            snap.counter("broadmatch_queries_truncated_total", ""),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn probe_trace_stats_round_trips_fields() {
+        let stats = QueryStats {
+            probes: 5,
+            probe_hits: 2,
+            nodes_visited: 2,
+            truncated: false,
+            hits: 1,
+            entries_examined: 3,
+            ads_examined: 4,
+            scanned_bytes: 99,
+            early_terminations: 1,
+            remapped_nodes: 1,
+            remapped_scan_bytes: 44,
+        };
+        let t = probe_trace_stats(&stats);
+        assert_eq!(t.probes, 5);
+        assert_eq!(t.nodes_scanned, 2);
+        assert_eq!(t.scanned_bytes, 99);
+        assert_eq!(t.remapped_scan_bytes, 44);
+        assert!(!t.truncated);
+    }
+}

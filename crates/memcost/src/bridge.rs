@@ -1,0 +1,133 @@
+//! Bridges the counting tracker into the telemetry registry, so the
+//! paper's *predicted* cost (`Cost_Random`/`Cost_Scan` priced through
+//! [`CountingTracker::modeled_cost`]) accumulates beside *measured*
+//! wall-clock time, per query class. This is the raw material of the
+//! cost-model-validation experiment: if the Section IV-A model is any
+//! good, the two series should correlate strongly within each class.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use broadmatch_telemetry::{Counter, Registry};
+
+use crate::{CostModel, CountingTracker};
+
+/// Predicted cost is a float (model units); counters are integers. Store
+/// milli-units so sub-unit queries still register.
+const COST_SCALE: f64 = 1e3;
+
+/// Accumulates predicted model cost and measured wall-clock time for one
+/// query class (e.g. `len3` for three-word queries) into a shared
+/// [`Registry`].
+///
+/// Three counter families, all labeled `{class="..."}`:
+///
+/// * `broadmatch_cost_predicted_milliunits_total` — modeled cost × 1000
+/// * `broadmatch_cost_measured_ns_total` — wall-clock nanoseconds
+/// * `broadmatch_cost_queries_total` — observations
+#[derive(Debug, Clone)]
+pub struct CostModelBridge {
+    model: CostModel,
+    predicted: Arc<Counter>,
+    measured_ns: Arc<Counter>,
+    queries: Arc<Counter>,
+}
+
+impl CostModelBridge {
+    /// Register the three cost families for `class` in `registry`.
+    pub fn new(registry: &Registry, model: CostModel, class: &str) -> Self {
+        let labels = [("class", class)];
+        CostModelBridge {
+            model,
+            predicted: registry.counter(
+                "broadmatch_cost_predicted_milliunits_total",
+                "Predicted query cost under the paper's cost model, in milli-units",
+                &labels,
+            ),
+            measured_ns: registry.counter(
+                "broadmatch_cost_measured_ns_total",
+                "Measured wall-clock query time in nanoseconds",
+                &labels,
+            ),
+            queries: registry.counter(
+                "broadmatch_cost_queries_total",
+                "Queries observed by the cost-model bridge",
+                &labels,
+            ),
+        }
+    }
+
+    /// Record one query: price `tracker` under the model and pair it with
+    /// the measured `wall` time. Returns the predicted cost (model units)
+    /// for callers that also keep per-query samples.
+    pub fn observe(&self, tracker: &CountingTracker, wall: Duration) -> f64 {
+        let predicted = tracker.modeled_cost(&self.model);
+        self.predicted.add((predicted * COST_SCALE).round() as u64);
+        self.measured_ns.add(wall.as_nanos() as u64);
+        self.queries.inc();
+        predicted
+    }
+
+    /// The cost model this bridge prices accesses under.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessTracker;
+
+    #[test]
+    fn bridge_accumulates_predicted_and_measured() {
+        let registry = Registry::new();
+        let bridge = CostModelBridge::new(&registry, CostModel::dram(), "len2");
+
+        let mut t = CountingTracker::new();
+        t.random_access(0, 8);
+        t.sequential_read(8, 92);
+        let predicted = bridge.observe(&t, Duration::from_micros(3));
+        assert!((predicted - t.modeled_cost(&CostModel::dram())).abs() < 1e-9);
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("broadmatch_cost_queries_total", "class=\"len2\""),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("broadmatch_cost_measured_ns_total", "class=\"len2\""),
+            Some(3_000)
+        );
+        let milli = snap
+            .counter(
+                "broadmatch_cost_predicted_milliunits_total",
+                "class=\"len2\"",
+            )
+            .unwrap();
+        assert_eq!(milli, (predicted * 1e3).round() as u64);
+    }
+
+    #[test]
+    fn classes_accumulate_independently() {
+        let registry = Registry::new();
+        let a = CostModelBridge::new(&registry, CostModel::dram(), "len1");
+        let b = CostModelBridge::new(&registry, CostModel::dram(), "len2");
+        let mut t = CountingTracker::new();
+        t.random_access(0, 8);
+        a.observe(&t, Duration::from_nanos(100));
+        b.observe(&t, Duration::from_nanos(200));
+        b.observe(&t, Duration::from_nanos(200));
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("broadmatch_cost_queries_total", "class=\"len1\""),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("broadmatch_cost_queries_total", "class=\"len2\""),
+            Some(2)
+        );
+        assert_eq!(snap.counter_total("broadmatch_cost_measured_ns_total"), 500);
+    }
+}

@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bridge;
 mod cost;
 mod hwsim;
 mod tracker;
 
+pub use bridge::CostModelBridge;
 pub use cost::CostModel;
 pub use hwsim::{
     BranchPredictor, Cache, CacheConfig, HwCounters, HwSimConfig, HwSimTracker, Tlb, TlbConfig,

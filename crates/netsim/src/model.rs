@@ -325,14 +325,50 @@ pub fn run_simulation(config: &TwoServerConfig, arrival_qps: f64, n_queries: u32
     }
 
     let makespan_ms = last_completion.max(f64::MIN_POSITIVE);
-    SimReport {
+    let report = SimReport {
         completed,
         throughput_qps: completed as f64 / (makespan_ms / 1000.0),
         index_cpu_util: (index.busy_time_ms / (makespan_ms * config.index_workers as f64)).min(1.0),
         ad_cpu_util: (ad.busy_time_ms / (makespan_ms * config.ad_workers as f64)).min(1.0),
         mean_latency_ms: total_latency / completed.max(1) as f64,
         latency,
-    }
+    };
+    record_run_telemetry(&report);
+    report
+}
+
+/// Fold one simulation run into the global telemetry registry, so
+/// `experiments` dumps show how much simulated work backed a report.
+fn record_run_telemetry(report: &SimReport) {
+    let registry = broadmatch_telemetry::Registry::global();
+    registry
+        .counter(
+            "netsim_sim_runs_total",
+            "Discrete-event simulation runs executed",
+            &[],
+        )
+        .inc();
+    registry
+        .counter(
+            "netsim_sim_queries_total",
+            "Queries completed across all simulation runs",
+            &[],
+        )
+        .add(report.completed);
+    registry
+        .gauge(
+            "netsim_last_throughput_qps",
+            "Throughput achieved by the most recent simulation run",
+            &[],
+        )
+        .set(report.throughput_qps);
+    registry
+        .gauge(
+            "netsim_last_mean_latency_ms",
+            "Mean end-to-end latency of the most recent simulation run",
+            &[],
+        )
+        .set(report.mean_latency_ms);
 }
 
 fn exp_sample<R: RandomSource + ?Sized>(rng: &mut R, mean: f64) -> f64 {

@@ -19,10 +19,14 @@
 //!
 //! On top sit a worker pool with per-shard bounded MPMC queues
 //! ([`BoundedQueue`]), request batching, admission control that rejects
-//! with a retry-after hint instead of queueing unboundedly, and per-shard
-//! latency histograms ([`LatencyHistogram`]) in the same 5 ms buckets the
-//! `broadmatch-netsim` simulator reports — so measured service times feed
-//! straight back into the paper's network-capacity model (Fig. 9).
+//! with a retry-after hint instead of queueing unboundedly, and a full
+//! `broadmatch-telemetry` registry: per-shard latency histograms
+//! ([`LatencyHistogram`], re-exported from the telemetry crate) in the
+//! same 5 ms buckets the `broadmatch-netsim` simulator reports — so
+//! measured service times feed straight back into the paper's
+//! network-capacity model (Fig. 9) — plus probe/scan counters, queue
+//! depth and snapshot-age gauges, a sampling span tracer, and Prometheus
+//! text exposition via [`ServeRuntime::prometheus`].
 //!
 //! ```
 //! use std::sync::Arc;
@@ -45,13 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod arcswap;
-pub mod histogram;
 pub mod queue;
 pub mod runtime;
 pub mod shard;
 
 pub use arcswap::ArcSwap;
-pub use histogram::{LatencyHistogram, DEFAULT_BUCKET_MS};
+// The latency histogram moved to `broadmatch-telemetry` so every crate
+// shares one implementation; re-exported here for compatibility.
+pub use broadmatch_telemetry::{LatencyHistogram, DEFAULT_BUCKET_MS};
 pub use queue::{BoundedQueue, PopResult, PushError};
 pub use runtime::{QueryResponse, ServeConfig, ServeError, ServeMetrics, ServeRuntime};
 pub use shard::ShardedIndex;

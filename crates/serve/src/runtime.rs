@@ -7,15 +7,27 @@
 //! mid-query is invisible — snapshot consistency), and the submitting
 //! thread gathers the batches into final hits. Full queues reject at
 //! admission with a retry-after hint instead of building unbounded backlog.
+//!
+//! All counters and histograms live in a `broadmatch-telemetry`
+//! [`Registry`] owned by the runtime: one set of `serve_*` and
+//! `broadmatch_*` metric families instead of parallel hand-rolled stats
+//! structs, rendered to Prometheus text by [`ServeRuntime::prometheus`].
+//! A sampling [`Tracer`] records per-query span traces (plan, scatter,
+//! gather, finish) with probe-level statistics.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use broadmatch::{BroadMatchIndex, MatchHit, MatchType, ProbeBatch, QueryPlan, QueryStats};
+use broadmatch::{
+    probe_trace_stats, BroadMatchIndex, MatchHit, MatchType, ProbeBatch, QueryCounters, QueryPlan,
+    QueryStats,
+};
+use broadmatch_telemetry::{
+    Counter, Gauge, Histogram, LatencyHistogram, Registry, Tracer, DEFAULT_SAMPLE_EVERY,
+};
 
 use crate::arcswap::ArcSwap;
-use crate::histogram::LatencyHistogram;
 use crate::queue::{BoundedQueue, PopResult, PushError};
 use crate::shard::ShardedIndex;
 
@@ -32,6 +44,8 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Max tasks a worker drains per wakeup (amortizes lock traffic).
     pub batch_size: usize,
+    /// Span-trace one in this many queries (0 disables tracing).
+    pub trace_sample_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +55,7 @@ impl Default for ServeConfig {
             n_workers: 4,
             queue_capacity: 1024,
             batch_size: 8,
+            trace_sample_every: DEFAULT_SAMPLE_EVERY,
         }
     }
 }
@@ -82,7 +97,8 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// A point-in-time copy of the runtime's counters and histograms.
+/// A point-in-time copy of the runtime's counters and histograms,
+/// assembled from the telemetry registry.
 #[derive(Debug, Clone)]
 pub struct ServeMetrics {
     /// Queries admitted and completed.
@@ -97,6 +113,9 @@ pub struct ServeMetrics {
     pub shard_latency: Vec<LatencyHistogram>,
     /// Per-shard tasks executed.
     pub shard_tasks: Vec<u64>,
+    /// Per-shard admission rejects (which shard's full queue refused the
+    /// query) — the previously invisible half of admission control.
+    pub shard_rejects: Vec<u64>,
 }
 
 /// One published snapshot generation.
@@ -171,21 +190,101 @@ struct ShardTask {
     gather: Arc<Gather>,
 }
 
-#[derive(Debug)]
-struct ShardStat {
-    latency: LatencyHistogram,
-    tasks: u64,
+/// Pre-registered handles into the runtime's registry: the hot path pays
+/// one atomic (or one short histogram lock), never a registry lookup.
+struct Handles {
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    query_latency: Arc<Histogram>,
+    publish_ms: Arc<Histogram>,
+    snapshot_version: Arc<Gauge>,
+    snapshot_age_seconds: Arc<Gauge>,
+    shard_tasks: Vec<Arc<Counter>>,
+    shard_rejects: Vec<Arc<Counter>>,
+    shard_latency: Vec<Arc<Histogram>>,
+    shard_queue_depth: Vec<Arc<Gauge>>,
+    query_counters: QueryCounters,
+}
+
+impl Handles {
+    fn register(registry: &Registry, n_shards: usize) -> Self {
+        let mut shard_tasks = Vec::with_capacity(n_shards);
+        let mut shard_rejects = Vec::with_capacity(n_shards);
+        let mut shard_latency = Vec::with_capacity(n_shards);
+        let mut shard_queue_depth = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let label = shard.to_string();
+            let labels = [("shard", label.as_str())];
+            shard_tasks.push(registry.counter(
+                "serve_shard_tasks_total",
+                "Shard tasks executed by pool workers",
+                &labels,
+            ));
+            shard_rejects.push(registry.counter(
+                "serve_shard_rejects_total",
+                "Queries refused because this shard's queue was full",
+                &labels,
+            ));
+            shard_latency.push(registry.histogram(
+                "serve_shard_latency_ms",
+                "Per-shard probe-execution latency",
+                &labels,
+            ));
+            shard_queue_depth.push(registry.gauge(
+                "serve_shard_queue_depth",
+                "Tasks currently waiting in this shard's queue",
+                &labels,
+            ));
+        }
+        Handles {
+            accepted: registry.counter(
+                "serve_queries_accepted_total",
+                "Queries admitted and completed",
+                &[],
+            ),
+            rejected: registry.counter(
+                "serve_queries_rejected_total",
+                "Queries refused by admission control",
+                &[],
+            ),
+            query_latency: registry.histogram(
+                "serve_query_latency_ms",
+                "End-to-end query latency (plan to gather)",
+                &[],
+            ),
+            publish_ms: registry.histogram(
+                "serve_publish_duration_ms",
+                "Duration of snapshot publishes (shard + atomic swap)",
+                &[],
+            ),
+            snapshot_version: registry.gauge(
+                "serve_snapshot_version",
+                "Currently published snapshot version",
+                &[],
+            ),
+            snapshot_age_seconds: registry.gauge(
+                "serve_snapshot_age_seconds",
+                "Seconds since the current snapshot was published",
+                &[],
+            ),
+            shard_tasks,
+            shard_rejects,
+            shard_latency,
+            shard_queue_depth,
+            query_counters: QueryCounters::register(registry),
+        }
+    }
 }
 
 /// Shared state between the runtime handle and its workers.
 struct Inner {
     snapshot: ArcSwap<Generation>,
     queues: Vec<BoundedQueue<ShardTask>>,
-    shard_stats: Vec<Mutex<ShardStat>>,
-    query_latency: Mutex<LatencyHistogram>,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
+    registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
+    handles: Handles,
     version: AtomicU64,
+    published_at: Mutex<Instant>,
 }
 
 /// The serving runtime. Queries are safe to submit from any number of
@@ -198,10 +297,23 @@ pub struct ServeRuntime {
 }
 
 impl ServeRuntime {
-    /// Start a runtime serving `index`.
+    /// Start a runtime serving `index`, with a private metric registry.
     pub fn start(index: Arc<BroadMatchIndex>, config: ServeConfig) -> Self {
+        ServeRuntime::start_with_registry(index, config, Arc::new(Registry::new()))
+    }
+
+    /// Start a runtime recording its metrics into `registry` (share one
+    /// registry across runtimes, or pass `Registry::global()`-backed
+    /// arcs from embedding applications).
+    pub fn start_with_registry(
+        index: Arc<BroadMatchIndex>,
+        config: ServeConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         assert!(config.n_shards > 0, "need at least one shard");
         assert!(config.n_workers > 0, "need at least one worker");
+        let handles = Handles::register(&registry, config.n_shards);
+        handles.snapshot_version.set(1.0);
         let inner = Arc::new(Inner {
             snapshot: ArcSwap::new(Arc::new(Generation {
                 sharded: ShardedIndex::new(index, config.n_shards),
@@ -210,18 +322,14 @@ impl ServeRuntime {
             queues: (0..config.n_shards)
                 .map(|_| BoundedQueue::new(config.queue_capacity))
                 .collect(),
-            shard_stats: (0..config.n_shards)
-                .map(|_| {
-                    Mutex::new(ShardStat {
-                        latency: LatencyHistogram::netsim_default(),
-                        tasks: 0,
-                    })
-                })
-                .collect(),
-            query_latency: Mutex::new(LatencyHistogram::netsim_default()),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
+            registry,
+            tracer: Arc::new(Tracer::new(
+                config.trace_sample_every,
+                broadmatch_telemetry::DEFAULT_RING_CAP,
+            )),
+            handles,
             version: AtomicU64::new(1),
+            published_at: Mutex::new(Instant::now()),
         });
 
         let workers = (0..config.n_workers)
@@ -254,6 +362,17 @@ impl ServeRuntime {
         &self.config
     }
 
+    /// The metric registry this runtime records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
+    /// The sampling span tracer (drain recent traces with
+    /// [`Tracer::recent`]).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.inner.tracer
+    }
+
     /// Run a query through the pool: plan once, scatter the probes to their
     /// owning shards, gather. Returns results bit-identical to running the
     /// same query single-threaded against the snapshot current at
@@ -264,13 +383,27 @@ impl ServeRuntime {
         match_type: MatchType,
     ) -> Result<QueryResponse, ServeError> {
         let t0 = Instant::now();
+        let trace = self.inner.tracer.maybe_trace();
         let snapshot = self.inner.snapshot.load();
-        let Some(plan) = snapshot.sharded.plan(query_text, match_type) else {
+        let plan = {
+            let _span = trace.as_ref().map(|t| t.span("plan"));
+            snapshot.sharded.plan(query_text, match_type)
+        };
+        let Some(plan) = plan else {
             // Nothing can match: answer inline, still snapshot-tagged.
-            self.inner.accepted.fetch_add(1, SeqCst);
+            let stats = QueryStats::default();
+            self.inner.handles.accepted.inc();
+            self.inner.handles.query_counters.record(&stats);
+            self.inner
+                .handles
+                .query_latency
+                .record(t0.elapsed().as_secs_f64() * 1e3);
+            if let Some(t) = trace {
+                self.inner.tracer.finish(t, probe_trace_stats(&stats));
+            }
             return Ok(QueryResponse {
                 hits: Vec::new(),
-                stats: QueryStats::default(),
+                stats,
                 version: snapshot.version,
             });
         };
@@ -287,36 +420,49 @@ impl ServeRuntime {
             .collect();
         let gather = Arc::new(Gather::new(n_shards, dispatched.len()));
 
-        for &shard in &dispatched {
-            let task = ShardTask {
-                snapshot: Arc::clone(&snapshot),
-                plan: Arc::clone(&plan),
-                shard,
-                probe_indices: std::mem::take(&mut per_shard[shard]),
-                gather: Arc::clone(&gather),
-            };
-            if let Err(err) = self.inner.queues[shard].try_push(task) {
-                // Already-enqueued siblings will see the cancel flag and
-                // complete trivially; nobody waits on this gather.
-                gather.cancel();
-                self.inner.rejected.fetch_add(1, SeqCst);
-                return Err(match err {
-                    PushError::Full(_) => ServeError::Overloaded {
-                        retry_after: self.retry_after(shard),
-                    },
-                    PushError::Closed(_) => ServeError::ShuttingDown,
-                });
+        {
+            let _span = trace.as_ref().map(|t| t.span("scatter"));
+            for &shard in &dispatched {
+                let task = ShardTask {
+                    snapshot: Arc::clone(&snapshot),
+                    plan: Arc::clone(&plan),
+                    shard,
+                    probe_indices: std::mem::take(&mut per_shard[shard]),
+                    gather: Arc::clone(&gather),
+                };
+                if let Err(err) = self.inner.queues[shard].try_push(task) {
+                    // Already-enqueued siblings will see the cancel flag and
+                    // complete trivially; nobody waits on this gather.
+                    gather.cancel();
+                    self.inner.handles.rejected.inc();
+                    self.inner.handles.shard_rejects[shard].inc();
+                    return Err(match err {
+                        PushError::Full(_) => ServeError::Overloaded {
+                            retry_after: self.retry_after(shard),
+                        },
+                        PushError::Closed(_) => ServeError::ShuttingDown,
+                    });
+                }
             }
         }
 
-        let batches = gather.wait();
-        let (hits, stats) = snapshot.sharded.finish(&plan, batches);
-        self.inner.accepted.fetch_add(1, SeqCst);
+        let batches = {
+            let _span = trace.as_ref().map(|t| t.span("gather"));
+            gather.wait()
+        };
+        let (hits, stats) = {
+            let _span = trace.as_ref().map(|t| t.span("finish"));
+            snapshot.sharded.finish(&plan, batches)
+        };
+        self.inner.handles.accepted.inc();
+        self.inner.handles.query_counters.record(&stats);
         self.inner
+            .handles
             .query_latency
-            .lock()
-            .expect("latency lock poisoned")
             .record(t0.elapsed().as_secs_f64() * 1e3);
+        if let Some(t) = trace {
+            self.inner.tracer.finish(t, probe_trace_stats(&stats));
+        }
         Ok(QueryResponse {
             hits,
             stats,
@@ -328,11 +474,22 @@ impl ServeRuntime {
     /// see exactly one snapshot; none block, none see a partial swap.
     /// Returns the new version number.
     pub fn publish(&self, index: Arc<BroadMatchIndex>) -> u64 {
+        let t0 = Instant::now();
         let version = self.inner.version.fetch_add(1, SeqCst) + 1;
         self.inner.snapshot.store(Arc::new(Generation {
             sharded: ShardedIndex::new(index, self.config.n_shards),
             version,
         }));
+        *self
+            .inner
+            .published_at
+            .lock()
+            .expect("publish lock poisoned") = Instant::now();
+        self.inner.handles.snapshot_version.set(version as f64);
+        self.inner
+            .handles
+            .publish_ms
+            .record(t0.elapsed().as_secs_f64() * 1e3);
         version
     }
 
@@ -342,40 +499,43 @@ impl ServeRuntime {
         (Arc::clone(snapshot.sharded.index()), snapshot.version)
     }
 
-    /// Copy out counters and histograms.
+    /// Copy out counters and histograms (assembled from the registry).
     pub fn metrics(&self) -> ServeMetrics {
-        let mut shard_latency = Vec::with_capacity(self.config.n_shards);
-        let mut shard_tasks = Vec::with_capacity(self.config.n_shards);
-        for stat in &self.inner.shard_stats {
-            let stat = stat.lock().expect("stats lock poisoned");
-            shard_latency.push(stat.latency.clone());
-            shard_tasks.push(stat.tasks);
-        }
+        let h = &self.inner.handles;
         ServeMetrics {
-            accepted: self.inner.accepted.load(SeqCst),
-            rejected: self.inner.rejected.load(SeqCst),
+            accepted: h.accepted.get(),
+            rejected: h.rejected.get(),
             version: self.inner.version.load(SeqCst),
-            query_latency: self
-                .inner
-                .query_latency
-                .lock()
-                .expect("latency lock poisoned")
-                .clone(),
-            shard_latency,
-            shard_tasks,
+            query_latency: h.query_latency.snapshot(),
+            shard_latency: h.shard_latency.iter().map(|s| s.snapshot()).collect(),
+            shard_tasks: h.shard_tasks.iter().map(|c| c.get()).collect(),
+            shard_rejects: h.shard_rejects.iter().map(|c| c.get()).collect(),
         }
+    }
+
+    /// Render every metric in Prometheus text exposition format, after
+    /// refreshing the point-in-time gauges (shard queue depths, snapshot
+    /// age).
+    pub fn prometheus(&self) -> String {
+        let h = &self.inner.handles;
+        for (shard, gauge) in h.shard_queue_depth.iter().enumerate() {
+            gauge.set(self.inner.queues[shard].len() as f64);
+        }
+        let age = self
+            .inner
+            .published_at
+            .lock()
+            .expect("publish lock poisoned")
+            .elapsed();
+        h.snapshot_age_seconds.set(age.as_secs_f64());
+        self.inner.registry.render_prometheus()
     }
 
     /// Backoff hint for a rejected query: roughly the time for `shard`'s
     /// current backlog to drain at the recently observed service rate.
     fn retry_after(&self, shard: usize) -> Duration {
         let depth = self.inner.queues[shard].len() as f64;
-        let mean_ms = {
-            let stat = self.inner.shard_stats[shard]
-                .lock()
-                .expect("stats lock poisoned");
-            stat.latency.mean_ms()
-        };
+        let mean_ms = self.inner.handles.shard_latency[shard].snapshot().mean_ms();
         // Unmeasured queues still get a non-zero hint.
         let per_task_ms = if mean_ms > 0.0 { mean_ms } else { 0.05 };
         Duration::from_micros(((depth + 1.0) * per_task_ms * 1e3) as u64)
@@ -456,13 +616,8 @@ fn run_task(inner: &Inner, task: ShardTask) {
             .execute_probes(&task.plan, task.probe_indices.iter().copied())
     };
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
-    {
-        let mut stat = inner.shard_stats[task.shard]
-            .lock()
-            .expect("stats lock poisoned");
-        stat.latency.record(elapsed_ms);
-        stat.tasks += 1;
-    }
+    inner.handles.shard_latency[task.shard].record(elapsed_ms);
+    inner.handles.shard_tasks[task.shard].inc();
     task.gather.complete(task.shard, batch);
 }
 
@@ -544,6 +699,7 @@ mod tests {
                 n_workers: 1,
                 queue_capacity: 1,
                 batch_size: 1,
+                ..ServeConfig::default()
             },
         );
         // Single-threaded submission can't overrun a live worker reliably,
@@ -570,6 +726,10 @@ mod tests {
         let metrics = runtime.metrics();
         assert_eq!(metrics.rejected, rejected.load(SeqCst));
         assert!(metrics.accepted + metrics.rejected == 1600);
+        // Per-shard reject attribution sums to the total (satellite fix:
+        // rejects used to be invisible beyond the retry-after hint).
+        let per_shard: u64 = metrics.shard_rejects.iter().sum();
+        assert_eq!(per_shard, metrics.rejected);
     }
 
     #[test]
@@ -597,5 +757,69 @@ mod tests {
         let tasks: u64 = m.shard_tasks.iter().sum();
         assert_eq!(measured, tasks);
         assert!(tasks >= 50, "each query dispatches at least one shard task");
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_live_queries() {
+        let runtime = ServeRuntime::start(
+            sample(),
+            ServeConfig {
+                n_shards: 2,
+                n_workers: 2,
+                trace_sample_every: 4,
+                ..ServeConfig::default()
+            },
+        );
+        for _ in 0..20 {
+            runtime
+                .query("cheap used books online", MatchType::Broad)
+                .unwrap();
+        }
+        let text = runtime.prometheus();
+        for family in [
+            "broadmatch_probes_total",
+            "broadmatch_nodes_scanned_total",
+            "broadmatch_scan_bytes_total",
+            "broadmatch_remap_hits_total",
+            "serve_queries_accepted_total 20",
+            "serve_shard_queue_depth{shard=\"0\"}",
+            "serve_shard_tasks_total{shard=\"1\"}",
+            "serve_snapshot_version 1",
+            "serve_snapshot_age_seconds",
+            "serve_query_latency_ms_count 20",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        // The probe counters reflect actual query work.
+        let snap = runtime.registry().snapshot();
+        assert_eq!(snap.counter("broadmatch_queries_total", ""), Some(20));
+        assert!(snap.counter_total("broadmatch_probes_total") > 0);
+        assert!(snap.counter_total("broadmatch_scan_bytes_total") > 0);
+    }
+
+    #[test]
+    fn tracer_samples_spans() {
+        let runtime = ServeRuntime::start(
+            sample(),
+            ServeConfig {
+                trace_sample_every: 2,
+                ..ServeConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            runtime
+                .query("cheap used books online", MatchType::Broad)
+                .unwrap();
+        }
+        let traces = runtime.tracer().recent(16);
+        assert_eq!(traces.len(), 5, "1-in-2 sampling over 10 queries");
+        let t = traces.last().expect("nonempty");
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        for required in ["plan", "scatter", "gather", "finish"] {
+            assert!(names.contains(&required), "missing span {required}");
+        }
+        assert!(t.probe.probes > 0);
+        assert!(t.probe.nodes_scanned > 0);
+        assert!(t.probe.scanned_bytes > 0);
     }
 }

@@ -10,8 +10,9 @@
 //! Commands: plain text runs a broad-match auction; `:exact <q>` /
 //! `:phrase <q>` switch semantics; `:stats <q>` shows query processing
 //! statistics; `:reload <seed>` rebuilds the corpus at a new seed and
-//! publishes it without stopping the pool; `:metrics` prints runtime
-//! counters; `:quit` exits.
+//! publishes it without stopping the pool; `:metrics` dumps the full
+//! telemetry registry in Prometheus text format; `:trace` shows the most
+//! recent sampled query span traces; `:quit` exits.
 
 use std::io::BufRead;
 use std::sync::Arc;
@@ -66,7 +67,7 @@ fn main() {
         "example corpus words look like: {:?}",
         &corpus.wordset_phrases()[..3]
     );
-    eprintln!("type a query (or :exact/:phrase/:stats/:reload/:metrics/:quit):");
+    eprintln!("type a query (or :exact/:phrase/:stats/:reload/:metrics/:trace/:quit):");
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -79,20 +80,41 @@ fn main() {
             break;
         }
         if line == ":metrics" {
-            let m = runtime.metrics();
-            println!(
-                "accepted {}  rejected {}  snapshot v{}  mean query {:.3} ms",
-                m.accepted,
-                m.rejected,
-                m.version,
-                m.query_latency.mean_ms()
-            );
-            for (shard, (hist, tasks)) in m.shard_latency.iter().zip(&m.shard_tasks).enumerate() {
+            // The full registry, Prometheus text exposition format — the
+            // same bytes a /metrics HTTP endpoint would serve.
+            print!("{}", runtime.prometheus());
+            continue;
+        }
+        if line == ":trace" {
+            let traces = runtime.tracer().recent(5);
+            if traces.is_empty() {
                 println!(
-                    "  shard {shard}: {tasks} tasks, mean {:.4} ms, p95 {:.4} ms",
-                    hist.mean_ms(),
-                    hist.percentile_ms(0.95)
+                    "no sampled traces yet (1 in {} queries)",
+                    runtime.config().trace_sample_every
                 );
+                continue;
+            }
+            for t in traces {
+                println!(
+                    "query #{}: {} us total; {} probes ({} hit), {} nodes, {} bytes scanned{}",
+                    t.seq,
+                    t.total_us,
+                    t.probe.probes,
+                    t.probe.probe_hits,
+                    t.probe.nodes_scanned,
+                    t.probe.scanned_bytes,
+                    if t.probe.early_terminations > 0 {
+                        format!(", {} early-term", t.probe.early_terminations)
+                    } else {
+                        String::new()
+                    }
+                );
+                for s in &t.spans {
+                    println!(
+                        "    {:<8} +{:>6} us  {:>6} us",
+                        s.name, s.start_us, s.dur_us
+                    );
+                }
             }
             continue;
         }

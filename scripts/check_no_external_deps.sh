@@ -30,7 +30,25 @@ if [ -n "$violations" ]; then
   fail=1
 fi
 
-# 2. The lockfile must not pin anything from a registry or git source.
+# 2. broadmatch-telemetry must stay dependency-free: every crate links it
+#    (including leaf crates like memcost), so any dependency it grew would
+#    become a workspace-wide edge — and a cycle the moment an instrumented
+#    crate is the target.
+telemetry_deps=$(cargo metadata --offline --format-version 1 --no-deps \
+  | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+for pkg in meta["packages"]:
+    if pkg["name"] == "broadmatch-telemetry":
+        print("\n".join(d["name"] for d in pkg["dependencies"]))
+')
+if [ -n "$telemetry_deps" ]; then
+  echo "ERROR: broadmatch-telemetry must have zero dependencies, found:" >&2
+  echo "$telemetry_deps" >&2
+  fail=1
+fi
+
+# 3. The lockfile must not pin anything from a registry or git source.
 if grep -E '^source = ' Cargo.lock >/dev/null 2>&1; then
   echo "ERROR: Cargo.lock pins non-path sources:" >&2
   grep -B2 '^source = ' Cargo.lock >&2

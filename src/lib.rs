@@ -21,7 +21,10 @@
 //!   VII-B;
 //! * [`serve`] — the sharded, lock-free-read serving runtime: atomic
 //!   snapshot swap, per-shard worker queues, admission control, latency
-//!   histograms feeding back into [`netsim`].
+//!   histograms feeding back into [`netsim`];
+//! * [`telemetry`] — dependency-free counters, gauges, latency histograms,
+//!   a sampling span tracer, and Prometheus text exposition shared by
+//!   every crate above.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
@@ -34,3 +37,4 @@ pub use broadmatch_netsim as netsim;
 pub use broadmatch_serve as serve;
 pub use broadmatch_setcover as setcover;
 pub use broadmatch_succinct as succinct;
+pub use broadmatch_telemetry as telemetry;
