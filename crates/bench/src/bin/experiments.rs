@@ -20,6 +20,7 @@ experiment ids:
   modified-bytes   modified-index data volume            (Sec. VII-A)
   multiserver      two-server deployment + latency dist  (Sec. VII-B, Fig. 9)
   serve-throughput serving-runtime shard/worker sweep + netsim calibration
+  update-churn     online insert/delete + compaction latency (Sec. VI)
   cost-model-fit   predicted vs measured query cost      (Sec. IV-A; --tiny for smoke runs)
   fig10            re-mapping variants                   (Fig. 10)
   counters         simulated hardware counters           (Sec. VII-C)
@@ -79,6 +80,7 @@ fn main() {
             "modified-bytes",
             "multiserver",
             "serve-throughput",
+            "update-churn",
             "cost-model-fit",
             "fig10",
             "counters",
@@ -123,6 +125,9 @@ fn main() {
             }
             "serve-throughput" => {
                 serve_throughput::run(scale, seed);
+            }
+            "update-churn" => {
+                update_churn::run(scale, seed);
             }
             "cost-model-fit" => {
                 cost_model_fit::run(scale, seed, tiny);

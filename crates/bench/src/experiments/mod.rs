@@ -11,6 +11,7 @@
 //! | `modified-bytes` | §VII-A modified-index data volume | [`bytes::modified_bytes`] |
 //! | `multiserver` | §VII-B + Fig. 9 | [`multiserver::run`] |
 //! | `serve-throughput` | serving-runtime shard×worker sweep + netsim calibration | [`serve_throughput::run`] |
+//! | `update-churn` | §VI online maintenance: latency under insert/delete + compaction | [`update_churn::run`] |
 //! | `cost-model-fit` | §IV-A predicted vs measured cost | [`cost_model_fit::run`] |
 //! | `fig10` | Fig. 10 re-mapping variants | [`remap::fig10`] |
 //! | `counters` | §VII-C hardware counters | [`counters::run`] |
@@ -29,3 +30,4 @@ pub mod multiserver;
 pub mod remap;
 pub mod serve_throughput;
 pub mod throughput;
+pub mod update_churn;

@@ -150,6 +150,12 @@ pub struct QueryStats {
     /// Bytes scanned inside re-mapped nodes (the sequential-scan overhead
     /// the re-mapping trades against probe savings).
     pub remapped_scan_bytes: usize,
+    /// Base hits dropped because a delta-overlay tombstone marked the ad
+    /// deleted (zero on overlay-free queries).
+    pub tombstone_hits: usize,
+    /// Hits contributed by the delta overlay's side index of recent inserts
+    /// (zero on overlay-free queries).
+    pub overlay_hits: usize,
 }
 
 /// Size and shape statistics of a built index.
@@ -187,6 +193,11 @@ pub struct BroadMatchIndex {
     group_words: Vec<WordSet>,
     group_bytes: Vec<usize>,
     n_ads: u32,
+    /// High-water ad id allocator: strictly above every id ever assigned,
+    /// so maintenance inserts after removals never reuse a live ad's id
+    /// (`n_ads` counts live ads and shrinks on removal; reusing it as the
+    /// allocator collided with surviving ads).
+    next_ad_id: u32,
     max_locator_len: usize,
     /// Per-ad exclusion word sets (paper, Section I): an ad is suppressed
     /// when any of its exclusion words occurs in the query.
@@ -239,10 +250,23 @@ impl BroadMatchIndex {
             group_words,
             group_bytes,
             n_ads,
+            next_ad_id: n_ads,
             max_locator_len,
             exclusions: std::collections::HashMap::default(),
             remapped_extents,
         }
+    }
+
+    /// Raise the ad-id allocation floor (persistence restores the saved
+    /// high water so reloaded indexes keep the no-reuse guarantee).
+    pub(crate) fn with_ad_id_floor(mut self, floor: u32) -> Self {
+        self.next_ad_id = self.next_ad_id.max(floor);
+        self
+    }
+
+    /// The first ad id guaranteed never to have been assigned.
+    pub(crate) fn ad_id_high_water(&self) -> u32 {
+        self.next_ad_id
     }
 
     pub(crate) fn with_exclusions(
@@ -275,6 +299,27 @@ impl BroadMatchIndex {
         let mut stats = QueryStats::default();
         let hits = self.query_internal(query_text, match_type, &mut NullTracker, Some(&mut stats));
         stats.hits = hits.len();
+        (hits, stats)
+    }
+
+    /// Run a query through this base index merged with a
+    /// [`crate::DeltaOverlay`] of recent mutations: base hits first (minus
+    /// tombstoned ads), then the overlay's own matches. The resulting
+    /// listing set equals querying a fresh rebuild that contains the same
+    /// surviving ads; with an empty overlay, hits and statistics are
+    /// byte-identical to [`BroadMatchIndex::query_with_stats`].
+    pub fn query_with_overlay(
+        &self,
+        overlay: &crate::DeltaOverlay,
+        query_text: &str,
+        match_type: MatchType,
+    ) -> (Vec<MatchHit>, QueryStats) {
+        let (mut hits, mut stats) = self.query_with_stats(query_text, match_type);
+        if !overlay.is_empty() {
+            stats.tombstone_hits = overlay.filter_tombstones(&mut hits);
+            stats.overlay_hits = overlay.consult(query_text, match_type, &mut hits);
+            stats.hits = hits.len();
+        }
         (hits, stats)
     }
 
@@ -618,9 +663,12 @@ impl BroadMatchIndex {
         &mut self.vocab
     }
 
-    /// Allocate the next ad id (maintenance inserts).
+    /// Allocate the next ad id (maintenance inserts). Ids come from the
+    /// high-water allocator, never from the live-ad count, so an id freed
+    /// by a removal is never handed to a new ad.
     pub(crate) fn alloc_ad_id(&mut self) -> AdId {
-        let id = AdId(self.n_ads);
+        let id = AdId(self.next_ad_id);
+        self.next_ad_id += 1;
         self.n_ads += 1;
         id
     }

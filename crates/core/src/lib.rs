@@ -57,6 +57,7 @@ mod arena;
 mod build;
 mod compress;
 mod costmodel;
+mod delta;
 mod directory;
 mod error;
 mod hash;
@@ -75,6 +76,7 @@ mod workload;
 
 pub use build::{DirectoryKind, IndexBuilder, IndexConfig, RemapMode};
 pub use costmodel::{CostBreakdown, MappingCost};
+pub use delta::{resolve_exact, DeltaOverlay};
 pub use error::BuildError;
 pub use hash::{wordhash, FxBuildHasher, FxHasher};
 pub use index::{
@@ -86,7 +88,7 @@ pub use node::{SITE_EARLY_TERM, SITE_ENTRY_MATCH, SITE_PROBE};
 pub use optimize::{Mapping, MappingStats};
 pub use persist::PersistError;
 pub use stats::CorpusStats;
-pub use telemetry::{probe_trace_stats, QueryCounters};
+pub use telemetry::{probe_trace_stats, OverlayCounters, QueryCounters};
 pub use text::{fold_duplicates, tokenize, FoldedToken};
 pub use types::{AdId, AdInfo, WordId};
 pub use vocab::Vocabulary;

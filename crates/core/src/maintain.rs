@@ -481,6 +481,136 @@ mod tests {
         assert_eq!(index.query("used books", MatchType::Broad).len(), 2);
     }
 
+    /// Bytes of arena the directory still points at.
+    fn live_bytes(index: &MaintainedIndex) -> usize {
+        index.with_index(|i| {
+            i.directory()
+                .extents()
+                .into_iter()
+                .map(|(s, e)| (e - s) as usize)
+                .sum::<usize>()
+        })
+    }
+
+    /// The accounting invariant: `dead_bytes` is exactly the arena minus
+    /// what the directory can still reach.
+    fn assert_dead_bytes_consistent(index: &MaintainedIndex, when: &str) {
+        let arena = index.with_index(|i| i.stats().arena_bytes);
+        let live = live_bytes(index);
+        assert_eq!(
+            index.dead_bytes(),
+            arena - live,
+            "{when}: dead_bytes vs arena {arena} - live {live}"
+        );
+    }
+
+    /// The length of the node currently hosting `phrase`'s word set (0 if
+    /// absent) — the exact number of bytes a rewrite of that node orphans.
+    fn node_len(index: &MaintainedIndex, phrase: &str) -> usize {
+        index.with_index(|i| {
+            let folded = crate::fold_duplicates(&crate::tokenize(phrase));
+            let ids: Option<Vec<crate::WordId>> =
+                folded.iter().map(|t| i.vocab().get(&t.key())).collect();
+            let Some(ids) = ids else { return 0 };
+            let words = WordSet::from_unsorted(ids);
+            let mut tracker = broadmatch_memcost::NullTracker;
+            i.directory()
+                .lookup(words.hash(), &mut tracker)
+                .map_or(0, |(s, e)| (e - s) as usize)
+        })
+    }
+
+    #[test]
+    fn dead_bytes_pinned_across_every_operation() {
+        let index = base_index();
+        assert_eq!(index.dead_bytes(), 0);
+        assert_dead_bytes_consistent(&index, "fresh build");
+
+        // Insert into an existing node: orphans exactly the old node.
+        let old = node_len(&index, "used books");
+        assert!(old > 0);
+        index.insert("used books", AdInfo::with_bid(5, 1)).unwrap();
+        assert_eq!(index.dead_bytes(), old);
+        assert_dead_bytes_consistent(&index, "insert into existing node");
+
+        // Insert at a fresh word set: nothing rewritten, nothing orphaned.
+        let before = index.dead_bytes();
+        index.insert("red shoes", AdInfo::with_bid(6, 2)).unwrap();
+        assert_eq!(index.dead_bytes(), before);
+        assert_dead_bytes_consistent(&index, "insert fresh node");
+
+        // Partial remove (node keeps other ads): orphans the old node.
+        let old = node_len(&index, "used books");
+        let before = index.dead_bytes();
+        assert_eq!(index.remove("used books", 1), 1);
+        assert_eq!(index.dead_bytes(), before + old);
+        assert_dead_bytes_consistent(&index, "partial remove");
+
+        // Remove that empties a node: the whole node goes dead.
+        let old = node_len(&index, "cheap used books");
+        let before = index.dead_bytes();
+        assert_eq!(index.remove("cheap used books", 2), 1);
+        assert_eq!(index.dead_bytes(), before + old);
+        assert_dead_bytes_consistent(&index, "emptying remove");
+
+        // A miss costs nothing.
+        let before = index.dead_bytes();
+        assert_eq!(index.remove("never indexed", 99), 0);
+        assert_eq!(index.remove("used books", 12345), 0);
+        assert_eq!(index.dead_bytes(), before);
+        assert_dead_bytes_consistent(&index, "missed removes");
+
+        // Reoptimize compacts the arena: zero dead, invariant tight.
+        index.reoptimize(None).unwrap();
+        assert_eq!(index.dead_bytes(), 0);
+        assert_dead_bytes_consistent(&index, "after reoptimize");
+    }
+
+    #[test]
+    fn removed_ad_ids_are_never_reallocated() {
+        // Regression: the allocator used the live-ad count, so removing an
+        // ad and inserting a new one handed out an id still owned by a
+        // surviving ad (corrupting any per-ad side table, e.g. exclusions).
+        let index = base_index();
+        assert_eq!(index.remove("used books", 1), 1);
+        let live_before: std::collections::HashSet<AdId> =
+            index.with_index(|i| i.iter_all_ads().into_iter().map(|(id, _)| id).collect());
+        let id = index
+            .insert("fresh phrase", AdInfo::with_bid(9, 9))
+            .unwrap();
+        assert!(
+            !live_before.contains(&id),
+            "freshly allocated {id:?} collides with a live ad"
+        );
+        assert_eq!(id, AdId(2), "high-water allocation continues past removals");
+        // All live ids are distinct after the churn.
+        let live_after: Vec<AdId> =
+            index.with_index(|i| i.iter_all_ads().into_iter().map(|(i, _)| i).collect());
+        let distinct: std::collections::HashSet<&AdId> = live_after.iter().collect();
+        assert_eq!(distinct.len(), live_after.len());
+    }
+
+    #[test]
+    fn exclusions_survive_id_churn() {
+        // With id reuse, the exclusion set of a removed ad could silently
+        // attach to an unrelated new ad. High-water allocation prevents it.
+        let mut b = IndexBuilder::new();
+        b.add("plain listing", AdInfo::with_bid(1, 10)).unwrap();
+        b.add_with_exclusions("running shoes", AdInfo::with_bid(2, 20), &["cheap"])
+            .unwrap();
+        let index = MaintainedIndex::new(b.build().unwrap()).unwrap();
+        assert_eq!(index.remove("plain listing", 1), 1);
+        // The new ad must NOT inherit ad id 1 (or any live id).
+        index.insert("cheap socks", AdInfo::with_bid(3, 5)).unwrap();
+        assert_eq!(index.query("cheap socks", MatchType::Broad).len(), 1);
+        // The excluded ad still honors its own exclusion and nothing else's.
+        assert!(index
+            .query("cheap running shoes", MatchType::Broad)
+            .iter()
+            .all(|h| h.info.listing_id != 2));
+        assert_eq!(index.query("running shoes", MatchType::Broad).len(), 1);
+    }
+
     #[test]
     fn reoptimize_preserves_contents() {
         let index = base_index();

@@ -22,7 +22,9 @@ use crate::optimize::Mapping;
 use crate::{BroadMatchIndex, Vocabulary, WordId, WordSet};
 
 const MAGIC: &[u8; 4] = b"BMIX";
-const VERSION: u32 = 1;
+// Version 2 added the ad-id high-water mark after the ad count, so a
+// reloaded index keeps the no-id-reuse guarantee across maintenance.
+const VERSION: u32 = 2;
 
 /// Errors from [`BroadMatchIndex::save`] / [`BroadMatchIndex::load`].
 #[derive(Debug)]
@@ -310,6 +312,7 @@ impl BroadMatchIndex {
         }
 
         w.varint(self.stats().ads as u64)?;
+        w.varint(self.ad_id_high_water() as u64)?;
         w.varint(self.stats().max_locator_len as u64)?;
 
         // Exclusion phrases (sorted by ad id for determinism).
@@ -471,6 +474,7 @@ impl BroadMatchIndex {
         let mapping = Mapping::new(locators);
 
         let n_ads = r.varint()? as u32;
+        let ad_id_floor = r.varint()? as u32;
         let max_locator_len = r.varint()? as usize;
 
         let n_exclusions = r.varint()? as usize;
@@ -508,6 +512,7 @@ impl BroadMatchIndex {
             n_ads,
             max_locator_len,
         )
+        .with_ad_id_floor(ad_id_floor)
         .with_exclusions(exclusions))
     }
 }

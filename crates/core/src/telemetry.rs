@@ -32,6 +32,8 @@ pub struct QueryCounters {
     remap_scan_bytes: Arc<Counter>,
     truncated: Arc<Counter>,
     hits: Arc<Counter>,
+    tombstone_hits: Arc<Counter>,
+    overlay_hits: Arc<Counter>,
 }
 
 impl QueryCounters {
@@ -99,6 +101,16 @@ impl QueryCounters {
                 "Matching ads returned after exclusion filtering",
                 &[],
             ),
+            tombstone_hits: registry.counter(
+                "broadmatch_tombstone_hits_total",
+                "Base hits dropped because a delta-overlay tombstone marked the ad deleted",
+                &[],
+            ),
+            overlay_hits: registry.counter(
+                "broadmatch_overlay_hits_total",
+                "Hits contributed by the delta overlay's side index of recent inserts",
+                &[],
+            ),
         }
     }
 
@@ -118,6 +130,102 @@ impl QueryCounters {
             self.truncated.inc();
         }
         self.hits.add(stats.hits as u64);
+        self.tombstone_hits.add(stats.tombstone_hits as u64);
+        self.overlay_hits.add(stats.overlay_hits as u64);
+    }
+}
+
+/// Handles to the `broadmatch_overlay_*` / `broadmatch_compaction*`
+/// families — the observable state of a delta overlay and its background
+/// compaction worker. Register once per registry (idempotent), refresh the
+/// gauges with [`OverlayCounters::set_overlay_state`] whenever the overlay
+/// changes, and record each fold with [`OverlayCounters::record_compaction`].
+#[derive(Debug, Clone)]
+pub struct OverlayCounters {
+    /// Overlay mutations accepted (`broadmatch_overlay_inserts_total`).
+    pub inserts: Arc<Counter>,
+    /// Remove operations that removed at least one ad
+    /// (`broadmatch_overlay_removes_total`).
+    pub removes: Arc<Counter>,
+    /// Live ads in the overlay side index (`broadmatch_overlay_ads`).
+    pub overlay_ads: Arc<Gauge>,
+    /// Tombstoned base ads awaiting compaction
+    /// (`broadmatch_overlay_tombstones`).
+    pub overlay_tombstones: Arc<Gauge>,
+    /// Arena bytes kept dead by tombstones
+    /// (`broadmatch_overlay_dead_bytes`).
+    pub overlay_dead_bytes: Arc<Gauge>,
+    /// Completed compactions (`broadmatch_compactions_total`).
+    pub compactions: Arc<Counter>,
+    /// Wall-clock fold + republish duration
+    /// (`broadmatch_compaction_duration_ms`).
+    pub compaction_ms: Arc<Histogram>,
+    /// Ads carried into rebuilt bases by compactions
+    /// (`broadmatch_compaction_ads_folded_total`).
+    pub ads_folded: Arc<Counter>,
+}
+
+impl OverlayCounters {
+    /// Register the overlay/compaction families in `registry` and return
+    /// handles (idempotent: re-registering returns the same instruments).
+    pub fn register(registry: &Registry) -> Self {
+        OverlayCounters {
+            inserts: registry.counter(
+                "broadmatch_overlay_inserts_total",
+                "Ads inserted into the delta overlay",
+                &[],
+            ),
+            removes: registry.counter(
+                "broadmatch_overlay_removes_total",
+                "Remove operations that dropped or tombstoned at least one ad",
+                &[],
+            ),
+            overlay_ads: registry.gauge(
+                "broadmatch_overlay_ads",
+                "Live ads held by the delta overlay's side index",
+                &[],
+            ),
+            overlay_tombstones: registry.gauge(
+                "broadmatch_overlay_tombstones",
+                "Tombstoned base ads awaiting compaction",
+                &[],
+            ),
+            overlay_dead_bytes: registry.gauge(
+                "broadmatch_overlay_dead_bytes",
+                "Arena bytes kept dead by overlay tombstones",
+                &[],
+            ),
+            compactions: registry.counter(
+                "broadmatch_compactions_total",
+                "Overlay folds into a rebuilt base (background or manual)",
+                &[],
+            ),
+            compaction_ms: registry.histogram(
+                "broadmatch_compaction_duration_ms",
+                "Wall-clock duration of overlay compactions (fold + republish)",
+                &[],
+            ),
+            ads_folded: registry.counter(
+                "broadmatch_compaction_ads_folded_total",
+                "Ads carried into rebuilt bases by compactions",
+                &[],
+            ),
+        }
+    }
+
+    /// Refresh the point-in-time overlay gauges.
+    pub fn set_overlay_state(&self, overlay: &crate::DeltaOverlay) {
+        self.overlay_ads.set(overlay.ads() as f64);
+        self.overlay_tombstones
+            .set(overlay.tombstone_count() as f64);
+        self.overlay_dead_bytes.set(overlay.dead_bytes() as f64);
+    }
+
+    /// Record one completed compaction.
+    pub fn record_compaction(&self, duration: std::time::Duration, ads_folded: usize) {
+        self.compactions.inc();
+        self.compaction_ms.record(duration.as_secs_f64() * 1e3);
+        self.ads_folded.add(ads_folded as u64);
     }
 }
 
@@ -258,6 +366,8 @@ mod tests {
             early_terminations: 1,
             remapped_nodes: 1,
             remapped_scan_bytes: 60,
+            tombstone_hits: 2,
+            overlay_hits: 5,
         });
         counters.record(&QueryStats::default());
         let snap = registry.snapshot();
@@ -269,6 +379,49 @@ mod tests {
             snap.counter("broadmatch_queries_truncated_total", ""),
             Some(1)
         );
+        assert_eq!(snap.counter("broadmatch_tombstone_hits_total", ""), Some(2));
+        assert_eq!(snap.counter("broadmatch_overlay_hits_total", ""), Some(5));
+    }
+
+    #[test]
+    fn overlay_counters_track_state_and_compactions() {
+        let registry = Registry::new();
+        let counters = OverlayCounters::register(&registry);
+        let mut b = crate::IndexBuilder::new();
+        b.add("used books", crate::AdInfo::with_bid(1, 10)).unwrap();
+        let base = b.build().unwrap();
+        let mut overlay = crate::DeltaOverlay::for_base(&base);
+        overlay
+            .insert("red shoes", crate::AdInfo::with_bid(2, 5))
+            .unwrap();
+        overlay.remove(&base, "used books", 1);
+        counters.inserts.inc();
+        counters.removes.inc();
+        counters.set_overlay_state(&overlay);
+        counters.record_compaction(std::time::Duration::from_millis(3), 2);
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("broadmatch_overlay_inserts_total", ""),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("broadmatch_overlay_removes_total", ""),
+            Some(1)
+        );
+        assert_eq!(snap.counter("broadmatch_compactions_total", ""), Some(1));
+        assert_eq!(
+            snap.counter("broadmatch_compaction_ads_folded_total", ""),
+            Some(2)
+        );
+        let text = registry.render_prometheus();
+        assert!(text.contains("broadmatch_overlay_ads 1"));
+        assert!(text.contains("broadmatch_overlay_tombstones 1"));
+        assert!(text.contains(&format!(
+            "broadmatch_overlay_dead_bytes {}",
+            crate::DeltaOverlay::TOMBSTONE_COST
+        )));
+        assert!(text.contains("broadmatch_compaction_duration_ms"));
     }
 
     #[test]
@@ -285,6 +438,8 @@ mod tests {
             early_terminations: 1,
             remapped_nodes: 1,
             remapped_scan_bytes: 44,
+            tombstone_hits: 0,
+            overlay_hits: 0,
         };
         let t = probe_trace_stats(&stats);
         assert_eq!(t.probes, 5);

@@ -52,6 +52,7 @@ pub mod arcswap;
 pub mod queue;
 pub mod runtime;
 pub mod shard;
+pub mod update;
 
 pub use arcswap::ArcSwap;
 // The latency histogram moved to `broadmatch-telemetry` so every crate
@@ -60,3 +61,4 @@ pub use broadmatch_telemetry::{LatencyHistogram, DEFAULT_BUCKET_MS};
 pub use queue::{BoundedQueue, PopResult, PushError};
 pub use runtime::{QueryResponse, ServeConfig, ServeError, ServeMetrics, ServeRuntime};
 pub use shard::ShardedIndex;
+pub use update::UpdateConfig;

@@ -20,8 +20,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use broadmatch::{
-    probe_trace_stats, BroadMatchIndex, MatchHit, MatchType, ProbeBatch, QueryCounters, QueryPlan,
-    QueryStats,
+    probe_trace_stats, AdId, AdInfo, BroadMatchIndex, BuildError, DeltaOverlay, MatchHit,
+    MatchType, OverlayCounters, ProbeBatch, QueryCounters, QueryPlan, QueryStats,
 };
 use broadmatch_telemetry::{
     Counter, Gauge, Histogram, LatencyHistogram, Registry, Tracer, DEFAULT_SAMPLE_EVERY,
@@ -30,6 +30,7 @@ use broadmatch_telemetry::{
 use crate::arcswap::ArcSwap;
 use crate::queue::{BoundedQueue, PopResult, PushError};
 use crate::shard::ShardedIndex;
+use crate::update::{self, StopSignal, UpdateConfig, UpdateOp, UpdateState};
 
 /// Runtime sizing knobs.
 #[derive(Debug, Clone)]
@@ -116,13 +117,29 @@ pub struct ServeMetrics {
     /// Per-shard admission rejects (which shard's full queue refused the
     /// query) — the previously invisible half of admission control.
     pub shard_rejects: Vec<u64>,
+    /// Compactions completed (overlay folds into a rebuilt base).
+    pub compactions: u64,
+    /// Live inserts in the current delta overlay.
+    pub overlay_ads: usize,
+    /// Tombstoned base ads in the current delta overlay.
+    pub overlay_tombstones: usize,
+    /// Arena bytes kept dead by those tombstones, reclaimed at the next
+    /// compaction.
+    pub overlay_dead_bytes: usize,
 }
 
-/// One published snapshot generation.
+/// One published snapshot generation: the immutable sharded base plus the
+/// delta overlay of updates applied since that base was built. Readers
+/// consult the overlay after the base, so results match a fresh rebuild.
 #[derive(Debug)]
-struct Generation {
-    sharded: ShardedIndex,
-    version: u64,
+pub(crate) struct Generation {
+    pub(crate) sharded: ShardedIndex,
+    pub(crate) overlay: Arc<DeltaOverlay>,
+    pub(crate) version: u64,
+    /// Bumped whenever the *base* index changes (publish or compaction);
+    /// overlay-only republishes keep it. Lets a compaction detect that the
+    /// base it folded was swapped out from under it.
+    pub(crate) base_epoch: u64,
 }
 
 /// Scatter/gather rendezvous for one query.
@@ -192,18 +209,19 @@ struct ShardTask {
 
 /// Pre-registered handles into the runtime's registry: the hot path pays
 /// one atomic (or one short histogram lock), never a registry lookup.
-struct Handles {
+pub(crate) struct Handles {
     accepted: Arc<Counter>,
     rejected: Arc<Counter>,
     query_latency: Arc<Histogram>,
     publish_ms: Arc<Histogram>,
-    snapshot_version: Arc<Gauge>,
+    pub(crate) snapshot_version: Arc<Gauge>,
     snapshot_age_seconds: Arc<Gauge>,
     shard_tasks: Vec<Arc<Counter>>,
     shard_rejects: Vec<Arc<Counter>>,
     shard_latency: Vec<Arc<Histogram>>,
     shard_queue_depth: Vec<Arc<Gauge>>,
     query_counters: QueryCounters,
+    pub(crate) overlay: OverlayCounters,
 }
 
 impl Handles {
@@ -272,19 +290,24 @@ impl Handles {
             shard_latency,
             shard_queue_depth,
             query_counters: QueryCounters::register(registry),
+            overlay: OverlayCounters::register(registry),
         }
     }
 }
 
-/// Shared state between the runtime handle and its workers.
-struct Inner {
-    snapshot: ArcSwap<Generation>,
+/// Shared state between the runtime handle, its workers, and the
+/// background compaction worker.
+pub(crate) struct Inner {
+    pub(crate) snapshot: ArcSwap<Generation>,
     queues: Vec<BoundedQueue<ShardTask>>,
     registry: Arc<Registry>,
     tracer: Arc<Tracer>,
-    handles: Handles,
-    version: AtomicU64,
-    published_at: Mutex<Instant>,
+    pub(crate) handles: Handles,
+    pub(crate) version: AtomicU64,
+    pub(crate) published_at: Mutex<Instant>,
+    /// Writer-side state: the op log and base epoch, guarded by one mutex
+    /// that serializes all mutations (readers never take it).
+    pub(crate) update: Mutex<UpdateState>,
 }
 
 /// The serving runtime. Queries are safe to submit from any number of
@@ -294,6 +317,9 @@ pub struct ServeRuntime {
     inner: Arc<Inner>,
     config: ServeConfig,
     workers: Vec<std::thread::JoinHandle<()>>,
+    update_config: Option<UpdateConfig>,
+    compactor: Option<std::thread::JoinHandle<()>>,
+    compactor_stop: Option<Arc<StopSignal>>,
 }
 
 impl ServeRuntime {
@@ -314,10 +340,13 @@ impl ServeRuntime {
         assert!(config.n_workers > 0, "need at least one worker");
         let handles = Handles::register(&registry, config.n_shards);
         handles.snapshot_version.set(1.0);
+        let overlay = DeltaOverlay::for_base(&index);
         let inner = Arc::new(Inner {
             snapshot: ArcSwap::new(Arc::new(Generation {
                 sharded: ShardedIndex::new(index, config.n_shards),
+                overlay: Arc::new(overlay),
                 version: 1,
+                base_epoch: 1,
             })),
             queues: (0..config.n_shards)
                 .map(|_| BoundedQueue::new(config.queue_capacity))
@@ -330,6 +359,10 @@ impl ServeRuntime {
             handles,
             version: AtomicU64::new(1),
             published_at: Mutex::new(Instant::now()),
+            update: Mutex::new(UpdateState {
+                log: Vec::new(),
+                base_epoch: 1,
+            }),
         });
 
         let workers = (0..config.n_workers)
@@ -349,12 +382,37 @@ impl ServeRuntime {
             inner,
             config,
             workers,
+            update_config: None,
+            compactor: None,
+            compactor_stop: None,
         }
     }
 
     /// Start with the default configuration.
     pub fn with_defaults(index: Arc<BroadMatchIndex>) -> Self {
         ServeRuntime::start(index, ServeConfig::default())
+    }
+
+    /// Start a runtime with online maintenance: [`ServeRuntime::insert`]
+    /// and [`ServeRuntime::remove`] mutate through the delta overlay, and a
+    /// background worker folds the overlay into a rebuilt base whenever the
+    /// `update` thresholds trip.
+    pub fn start_maintained(
+        index: Arc<BroadMatchIndex>,
+        config: ServeConfig,
+        update: UpdateConfig,
+    ) -> Self {
+        let mut runtime = ServeRuntime::start(index, config);
+        let stop = Arc::new(StopSignal::default());
+        runtime.compactor = Some(update::spawn_compactor(
+            Arc::clone(&runtime.inner),
+            runtime.config.n_shards,
+            update.clone(),
+            Arc::clone(&stop),
+        ));
+        runtime.compactor_stop = Some(stop);
+        runtime.update_config = Some(update);
+        runtime
     }
 
     /// The runtime configuration.
@@ -390,8 +448,14 @@ impl ServeRuntime {
             snapshot.sharded.plan(query_text, match_type)
         };
         let Some(plan) = plan else {
-            // Nothing can match: answer inline, still snapshot-tagged.
-            let stats = QueryStats::default();
+            // The base can't match — but the overlay may know words the
+            // base vocabulary has never seen, so still consult it.
+            let mut hits = Vec::new();
+            let mut stats = QueryStats::default();
+            if !snapshot.overlay.is_empty() {
+                stats.overlay_hits = snapshot.overlay.consult(query_text, match_type, &mut hits);
+                stats.hits = hits.len();
+            }
             self.inner.handles.accepted.inc();
             self.inner.handles.query_counters.record(&stats);
             self.inner
@@ -402,7 +466,7 @@ impl ServeRuntime {
                 self.inner.tracer.finish(t, probe_trace_stats(&stats));
             }
             return Ok(QueryResponse {
-                hits: Vec::new(),
+                hits,
                 stats,
                 version: snapshot.version,
             });
@@ -450,10 +514,16 @@ impl ServeRuntime {
             let _span = trace.as_ref().map(|t| t.span("gather"));
             gather.wait()
         };
-        let (hits, stats) = {
+        let (mut hits, mut stats) = {
             let _span = trace.as_ref().map(|t| t.span("finish"));
             snapshot.sharded.finish(&plan, batches)
         };
+        if !snapshot.overlay.is_empty() {
+            let _span = trace.as_ref().map(|t| t.span("overlay"));
+            stats.tombstone_hits = snapshot.overlay.filter_tombstones(&mut hits);
+            stats.overlay_hits = snapshot.overlay.consult(query_text, match_type, &mut hits);
+            stats.hits = hits.len();
+        }
         self.inner.handles.accepted.inc();
         self.inner.handles.query_counters.record(&stats);
         self.inner
@@ -472,14 +542,24 @@ impl ServeRuntime {
 
     /// Atomically publish a new index. In-flight and future queries each
     /// see exactly one snapshot; none block, none see a partial swap.
+    /// Any pending delta overlay is discarded — the new index is the new
+    /// source of truth — and the op log is cleared.
     /// Returns the new version number.
     pub fn publish(&self, index: Arc<BroadMatchIndex>) -> u64 {
         let t0 = Instant::now();
+        let mut st = self.inner.update.lock().expect("update lock poisoned");
+        st.log.clear();
+        st.base_epoch += 1;
+        let overlay = DeltaOverlay::for_base(&index);
+        self.inner.handles.overlay.set_overlay_state(&overlay);
         let version = self.inner.version.fetch_add(1, SeqCst) + 1;
         self.inner.snapshot.store(Arc::new(Generation {
             sharded: ShardedIndex::new(index, self.config.n_shards),
+            overlay: Arc::new(overlay),
             version,
+            base_epoch: st.base_epoch,
         }));
+        drop(st);
         *self
             .inner
             .published_at
@@ -493,6 +573,80 @@ impl ServeRuntime {
         version
     }
 
+    /// Insert a new ad phrase. The mutation lands in the delta overlay and
+    /// republishes immediately (same base, new overlay): every query
+    /// submitted after this returns sees the ad. Returns its id.
+    ///
+    /// # Errors
+    /// [`BuildError::EmptyPhrase`] / [`BuildError::PhraseTooLong`] when the
+    /// phrase fails the same validation the offline builder applies.
+    pub fn insert(&self, phrase: &str, info: AdInfo) -> Result<AdId, BuildError> {
+        let mut st = self.inner.update.lock().expect("update lock poisoned");
+        let snapshot = self.inner.snapshot.load();
+        let mut overlay = (*snapshot.overlay).clone();
+        let id = overlay.insert(phrase, info)?;
+        st.log.push(UpdateOp::Insert {
+            phrase: phrase.to_string(),
+            info,
+        });
+        self.inner.handles.overlay.inserts.inc();
+        self.publish_overlay(&snapshot, overlay);
+        Ok(id)
+    }
+
+    /// Remove every ad with this exact phrase and listing id — the paper's
+    /// query-shaped delete. Overlay inserts are dropped outright; base ads
+    /// are tombstoned (hidden from queries, bytes reclaimed at the next
+    /// compaction). Returns how many ads were removed.
+    pub fn remove(&self, phrase: &str, listing_id: u64) -> usize {
+        let mut st = self.inner.update.lock().expect("update lock poisoned");
+        let snapshot = self.inner.snapshot.load();
+        let mut overlay = (*snapshot.overlay).clone();
+        let removed = update::apply_remove(&snapshot.sharded, &mut overlay, phrase, listing_id);
+        if removed == 0 {
+            return 0; // nothing changed; skip the republish and the log
+        }
+        st.log.push(UpdateOp::Remove {
+            phrase: phrase.to_string(),
+            listing_id,
+        });
+        self.inner.handles.overlay.removes.inc();
+        self.publish_overlay(&snapshot, overlay);
+        removed
+    }
+
+    /// Republish `base`'s generation with a new overlay (base unchanged,
+    /// so the epoch carries over). Caller holds the update lock.
+    fn publish_overlay(&self, base: &Generation, overlay: DeltaOverlay) -> u64 {
+        let version = self.inner.version.fetch_add(1, SeqCst) + 1;
+        self.inner.handles.overlay.set_overlay_state(&overlay);
+        self.inner.snapshot.store(Arc::new(Generation {
+            sharded: base.sharded.clone(),
+            overlay: Arc::new(overlay),
+            version,
+            base_epoch: base.base_epoch,
+        }));
+        self.inner.handles.snapshot_version.set(version as f64);
+        version
+    }
+
+    /// Fold the current overlay into a rebuilt base right now, without
+    /// waiting for the background worker's thresholds. If the fold races a
+    /// concurrent base swap it is retried, so on return the pending
+    /// overlay has been folded (or discarded by an intervening
+    /// [`ServeRuntime::publish`]). Returns the new version, or `None` when
+    /// there was nothing to fold.
+    ///
+    /// # Errors
+    /// Propagates index-rebuild failures; serving state is unchanged.
+    pub fn compact_now(&self) -> Result<Option<u64>, BuildError> {
+        update::compact(
+            &self.inner,
+            self.config.n_shards,
+            self.update_config.as_ref().and_then(|c| c.workload.clone()),
+        )
+    }
+
     /// The currently published snapshot and its version.
     pub fn current(&self) -> (Arc<BroadMatchIndex>, u64) {
         let snapshot = self.inner.snapshot.load();
@@ -502,6 +656,7 @@ impl ServeRuntime {
     /// Copy out counters and histograms (assembled from the registry).
     pub fn metrics(&self) -> ServeMetrics {
         let h = &self.inner.handles;
+        let snapshot = self.inner.snapshot.load();
         ServeMetrics {
             accepted: h.accepted.get(),
             rejected: h.rejected.get(),
@@ -510,6 +665,10 @@ impl ServeRuntime {
             shard_latency: h.shard_latency.iter().map(|s| s.snapshot()).collect(),
             shard_tasks: h.shard_tasks.iter().map(|c| c.get()).collect(),
             shard_rejects: h.shard_rejects.iter().map(|c| c.get()).collect(),
+            compactions: h.overlay.compactions.get(),
+            overlay_ads: snapshot.overlay.ads(),
+            overlay_tombstones: snapshot.overlay.tombstone_count(),
+            overlay_dead_bytes: snapshot.overlay.dead_bytes(),
         }
     }
 
@@ -528,6 +687,8 @@ impl ServeRuntime {
             .expect("publish lock poisoned")
             .elapsed();
         h.snapshot_age_seconds.set(age.as_secs_f64());
+        h.overlay
+            .set_overlay_state(&self.inner.snapshot.load().overlay);
         self.inner.registry.render_prometheus()
     }
 
@@ -544,6 +705,16 @@ impl ServeRuntime {
 
 impl Drop for ServeRuntime {
     fn drop(&mut self) {
+        // Stop the compactor first: it may be mid-fold, about to republish
+        // through the snapshot the workers still serve from.
+        if let Some(stop) = self.compactor_stop.take() {
+            let (lock, cv) = &*stop;
+            *lock.lock().expect("stop lock poisoned") = true;
+            cv.notify_all();
+        }
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
+        }
         for queue in &self.inner.queues {
             queue.close();
         }
@@ -795,6 +966,149 @@ mod tests {
         assert_eq!(snap.counter("broadmatch_queries_total", ""), Some(20));
         assert!(snap.counter_total("broadmatch_probes_total") > 0);
         assert!(snap.counter_total("broadmatch_scan_bytes_total") > 0);
+    }
+
+    #[test]
+    fn inserts_and_removes_are_immediately_visible() {
+        let runtime = ServeRuntime::with_defaults(sample());
+
+        // Insert: visible to the very next query, including words the base
+        // vocabulary has never seen.
+        let id = runtime
+            .insert("quantum books", AdInfo::with_bid(7, 70))
+            .unwrap();
+        let resp = runtime
+            .query("cheap quantum books online", MatchType::Broad)
+            .unwrap();
+        assert!(resp.hits.iter().any(|h| h.ad == id));
+        assert!(resp.stats.overlay_hits >= 1);
+        assert_eq!(resp.version, 2, "insert republished the snapshot");
+
+        // Remove a base ad: tombstoned, filtered from every match type.
+        assert_eq!(runtime.remove("used books", 1), 1);
+        let resp = runtime
+            .query("cheap used books online", MatchType::Broad)
+            .unwrap();
+        assert!(resp.hits.iter().all(|h| h.info.listing_id != 1));
+        assert!(resp.stats.tombstone_hits >= 1);
+
+        // Remove of the overlay insert drops it without a tombstone.
+        assert_eq!(runtime.remove("quantum books", 7), 1);
+        assert!(runtime
+            .query("quantum books", MatchType::Exact)
+            .unwrap()
+            .hits
+            .is_empty());
+
+        // A miss mutates nothing and does not republish.
+        let version_before = runtime.metrics().version;
+        assert_eq!(runtime.remove("used books", 999), 0);
+        assert_eq!(runtime.metrics().version, version_before);
+    }
+
+    #[test]
+    fn compaction_folds_overlay_and_preserves_results() {
+        let runtime = ServeRuntime::with_defaults(sample());
+        runtime
+            .insert("quantum books", AdInfo::with_bid(7, 70))
+            .unwrap();
+        assert_eq!(runtime.remove("books", 3), 1);
+        let before: Vec<u64> = runtime
+            .query("cheap quantum used books online", MatchType::Broad)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.info.listing_id)
+            .collect();
+
+        let version = runtime.compact_now().unwrap().expect("folded");
+        let m = runtime.metrics();
+        assert_eq!(m.version, version);
+        assert_eq!(m.compactions, 1);
+        assert_eq!(m.overlay_ads, 0, "overlay folded into the base");
+        assert_eq!(m.overlay_tombstones, 0);
+        assert_eq!(m.overlay_dead_bytes, 0);
+
+        // Same answers, now from the rebuilt base (no overlay work).
+        let resp = runtime
+            .query("cheap quantum used books online", MatchType::Broad)
+            .unwrap();
+        let after: Vec<u64> = resp.hits.iter().map(|h| h.info.listing_id).collect();
+        assert_eq!(
+            {
+                let mut b = before.clone();
+                b.sort_unstable();
+                b
+            },
+            {
+                let mut a = after.clone();
+                a.sort_unstable();
+                a
+            }
+        );
+        assert_eq!(resp.stats.overlay_hits, 0);
+        assert_eq!(resp.stats.tombstone_hits, 0);
+        assert!(runtime
+            .query("books", MatchType::Exact)
+            .unwrap()
+            .hits
+            .is_empty());
+
+        // Nothing left to fold.
+        assert_eq!(runtime.compact_now().unwrap(), None);
+    }
+
+    #[test]
+    fn publish_discards_pending_overlay() {
+        let runtime = ServeRuntime::with_defaults(sample());
+        runtime
+            .insert("quantum books", AdInfo::with_bid(7, 70))
+            .unwrap();
+        let mut b = IndexBuilder::new();
+        b.add("fresh books", AdInfo::with_bid(9, 90)).unwrap();
+        runtime.publish(Arc::new(b.build().unwrap()));
+        // The published index is the whole truth: the pending insert died.
+        assert!(runtime
+            .query("quantum books", MatchType::Exact)
+            .unwrap()
+            .hits
+            .is_empty());
+        assert_eq!(runtime.metrics().overlay_ads, 0);
+        assert_eq!(runtime.compact_now().unwrap(), None);
+    }
+
+    #[test]
+    fn background_compactor_trips_on_overlay_size() {
+        let runtime = ServeRuntime::start_maintained(
+            sample(),
+            ServeConfig::default(),
+            UpdateConfig {
+                max_overlay_ads: 4,
+                check_interval: Duration::from_millis(2),
+                ..UpdateConfig::default()
+            },
+        );
+        for i in 0..16 {
+            runtime
+                .insert(&format!("gadget model{i}"), AdInfo::with_bid(100 + i, 10))
+                .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while runtime.metrics().compactions == 0 {
+            assert!(Instant::now() < deadline, "compactor never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Every insert survives, wherever compaction left it.
+        for i in 0..16 {
+            let hits = runtime
+                .query(&format!("gadget model{i}"), MatchType::Exact)
+                .unwrap()
+                .hits;
+            assert_eq!(hits.len(), 1, "ad {i} lost across compaction");
+        }
+        let text = runtime.prometheus();
+        assert!(text.contains("broadmatch_compactions_total"));
+        assert!(text.contains("broadmatch_overlay_inserts_total 16"));
     }
 
     #[test]

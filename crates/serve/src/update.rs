@@ -1,0 +1,219 @@
+//! The serving-side update pipeline (Section VI at serve scale).
+//!
+//! Mutations never touch the published base index. Instead,
+//! [`crate::ServeRuntime::insert`] / [`crate::ServeRuntime::remove`] clone
+//! the current (small) [`DeltaOverlay`], apply the change, and republish
+//! the same base with the new overlay through the ArcSwap snapshot path —
+//! readers stay lock-free and see each update atomically. Writers are
+//! serialized by one update mutex, which also guards an **op log** of every
+//! mutation since the current base was published.
+//!
+//! A background **compaction worker** ([`spawn_compactor`], started by
+//! [`crate::ServeRuntime::start_maintained`]) watches overlay-size and
+//! dead-bytes thresholds ([`UpdateConfig`]). When one trips, [`compact`]
+//! folds the overlay into a rebuilt base — re-running the greedy set-cover
+//! re-mapping and reclaiming the tombstoned bytes — *without holding the
+//! update lock*; mutations that race the rebuild land in the op log and are
+//! replayed onto a fresh overlay against the new base before the swap, so
+//! no update is ever lost and readers never block.
+
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use broadmatch::{AdId, AdInfo, BuildError, DeltaOverlay, MatchType};
+
+use crate::runtime::{Generation, Inner};
+use crate::shard::ShardedIndex;
+
+/// Thresholds and cadence of the background compaction worker.
+#[derive(Debug, Clone)]
+pub struct UpdateConfig {
+    /// Fold when the overlay holds at least this many live inserts.
+    pub max_overlay_ads: usize,
+    /// Fold when tombstones keep at least this many arena bytes dead.
+    pub max_dead_bytes: usize,
+    /// How often the worker re-checks the thresholds.
+    pub check_interval: Duration,
+    /// Workload handed to the set-cover re-optimizer on every fold (`None`
+    /// keeps the builder's default mapping heuristics).
+    pub workload: Option<Vec<(String, u64)>>,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        UpdateConfig {
+            max_overlay_ads: 4096,
+            max_dead_bytes: 1 << 20,
+            check_interval: Duration::from_millis(50),
+            workload: None,
+        }
+    }
+}
+
+/// One logged mutation. The log replays onto the rebuilt base when a
+/// compaction races with concurrent updates.
+#[derive(Debug, Clone)]
+pub(crate) enum UpdateOp {
+    Insert { phrase: String, info: AdInfo },
+    Remove { phrase: String, listing_id: u64 },
+}
+
+/// Writer-side state guarded by the runtime's single update mutex: readers
+/// never touch this. `base_epoch` identifies the base generation the op
+/// log is relative to; any base swap bumps it, which invalidates folds cut
+/// against the old base.
+#[derive(Debug, Default)]
+pub(crate) struct UpdateState {
+    pub(crate) log: Vec<UpdateOp>,
+    pub(crate) base_epoch: u64,
+}
+
+/// Apply a remove against `(sharded base, overlay)`: drop matching overlay
+/// inserts, then resolve the base victims with the paper's query-shaped
+/// delete — the phrase planned as an exact-match query, probes routed and
+/// executed shard by shard exactly like a serving query — and tombstone
+/// them. Exclusion filtering is skipped on purpose: deletion must find an
+/// ad even when the phrase contains one of its own exclusion words.
+pub(crate) fn apply_remove(
+    sharded: &ShardedIndex,
+    overlay: &mut DeltaOverlay,
+    phrase: &str,
+    listing_id: u64,
+) -> usize {
+    let local = overlay.remove_local(phrase, listing_id);
+    let mut tombstoned = 0;
+    if let Some(plan) = sharded.plan(phrase, MatchType::Exact) {
+        let mut victims: Vec<AdId> = Vec::new();
+        for shard in 0..sharded.n_shards() {
+            let batch = sharded.execute_shard(&plan, shard);
+            victims.extend(
+                batch
+                    .nodes
+                    .iter()
+                    .flat_map(|n| n.hits.iter())
+                    .filter(|h| h.info.listing_id == listing_id)
+                    .map(|h| h.ad),
+            );
+        }
+        // The same node can be reached from two shards (shared locators,
+        // hash collisions); the tombstone set deduplicates.
+        tombstoned = overlay.tombstone_ads(victims);
+    }
+    local + tombstoned
+}
+
+/// Fold the current overlay into a rebuilt base and republish.
+///
+/// Protocol: under the update lock, note the op-log cut and the generation
+/// to fold; release the lock and rebuild offline (the expensive set-cover
+/// re-mapping runs with no locks held); retake the lock, replay the ops
+/// logged after the cut onto a fresh overlay against the new base, and
+/// swap. If another base swap (an external [`crate::ServeRuntime::publish`]
+/// or a concurrent compaction) landed mid-fold, the stale fold is dropped
+/// and the whole protocol retried against the fresh state — so on return
+/// the overlay observed at *some* cut after the call began has been
+/// folded. Returns the published version, or `None` when the overlay was
+/// already empty.
+///
+/// # Errors
+/// Propagates rebuild failures; the overlay is left untouched.
+pub(crate) fn compact(
+    inner: &Inner,
+    n_shards: usize,
+    workload: Option<Vec<(String, u64)>>,
+) -> Result<Option<u64>, BuildError> {
+    loop {
+        let t0 = Instant::now();
+        let (cut, base_gen) = {
+            let st = inner.update.lock().expect("update lock poisoned");
+            (st.log.len(), inner.snapshot.load())
+        };
+        if base_gen.overlay.is_empty() {
+            return Ok(None);
+        }
+        let folded = Arc::new(
+            base_gen
+                .overlay
+                .fold(base_gen.sharded.index(), workload.clone())?,
+        );
+        let folded_ads = folded.stats().ads;
+
+        let mut st = inner.update.lock().expect("update lock poisoned");
+        let current = inner.snapshot.load();
+        if current.base_epoch != base_gen.base_epoch {
+            continue; // base swapped under the fold: re-cut and try again
+        }
+        let sharded = ShardedIndex::new(Arc::clone(&folded), n_shards);
+        let mut overlay = DeltaOverlay::for_base(&folded);
+        for op in &st.log[cut..] {
+            match op {
+                UpdateOp::Insert { phrase, info } => {
+                    let _ = overlay.insert(phrase, *info); // validated when first applied
+                }
+                UpdateOp::Remove { phrase, listing_id } => {
+                    apply_remove(&sharded, &mut overlay, phrase, *listing_id);
+                }
+            }
+        }
+        st.log.clear();
+        st.base_epoch += 1;
+        let version = inner.version.fetch_add(1, SeqCst) + 1;
+        inner.handles.overlay.set_overlay_state(&overlay);
+        inner.snapshot.store(Arc::new(Generation {
+            sharded,
+            overlay: Arc::new(overlay),
+            version,
+            base_epoch: st.base_epoch,
+        }));
+        *inner.published_at.lock().expect("publish lock poisoned") = Instant::now();
+        inner.handles.snapshot_version.set(version as f64);
+        inner
+            .handles
+            .overlay
+            .record_compaction(t0.elapsed(), folded_ads);
+        return Ok(Some(version));
+    }
+}
+
+/// Shared stop flag for the compaction worker.
+pub(crate) type StopSignal = (Mutex<bool>, Condvar);
+
+/// Spawn the background compaction worker: every `check_interval` it
+/// compares the live overlay against the thresholds and folds when one is
+/// exceeded. Signal the returned thread through the stop flag (set `true`,
+/// notify) and join it to shut down.
+pub(crate) fn spawn_compactor(
+    inner: Arc<Inner>,
+    n_shards: usize,
+    cfg: UpdateConfig,
+    stop: Arc<StopSignal>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("serve-compactor".into())
+        .spawn(move || {
+            let (lock, cv) = &*stop;
+            let mut stopped = lock.lock().expect("stop lock poisoned");
+            loop {
+                let (guard, _timeout) = cv
+                    .wait_timeout(stopped, cfg.check_interval)
+                    .expect("stop lock poisoned");
+                stopped = guard;
+                if *stopped {
+                    return;
+                }
+                let generation = inner.snapshot.load();
+                let due = generation.overlay.ads() >= cfg.max_overlay_ads
+                    || generation.overlay.dead_bytes() >= cfg.max_dead_bytes;
+                drop(stopped);
+                if due {
+                    // A failure here would equally fail a foreground
+                    // reoptimize; keep serving from the overlay and retry
+                    // on the next tick.
+                    let _ = compact(&inner, n_shards, cfg.workload.clone());
+                }
+                stopped = lock.lock().expect("stop lock poisoned");
+            }
+        })
+        .expect("spawn compactor")
+}

@@ -1,0 +1,294 @@
+//! Concurrent update-churn stress: writers insert and remove through the
+//! runtime's delta overlay while readers query across background
+//! compactions. Readers verify atomicity invariants on every response
+//! (version monotonicity, at-most-one live toggle ad, anchor ads never
+//! flicker, inserts never un-happen); after quiesce, the compacted index
+//! must hold exactly the ads a from-scratch rebuild would.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Duration;
+
+use broadmatch::{tokenize, AdInfo, BroadMatchIndex, IndexBuilder, MatchType};
+use broadmatch_rng::{Pcg32, RandomSource};
+use broadmatch_serve::{ServeConfig, ServeError, ServeRuntime, UpdateConfig};
+
+const N_WRITERS: usize = 2;
+const N_READERS: usize = 2;
+/// Permanent inserts per writer ("bulk{w} item{k}"); with the tiny overlay
+/// threshold below, each writer forces several compactions.
+const BULK_PER_WRITER: usize = 120;
+/// Toggle rounds per writer (remove the previous "stream{w} alpha" ad,
+/// insert a successor with a higher listing id).
+const TOGGLES_PER_WRITER: usize = BULK_PER_WRITER / 2;
+
+fn stream_phrase(w: usize) -> String {
+    format!("stream{w} alpha")
+}
+
+fn stream_listing(w: usize, t: usize) -> u64 {
+    (w as u64 + 1) * 1_000_000 + t as u64
+}
+
+fn bulk_phrase(w: usize, k: usize) -> String {
+    format!("bulk{w} item{k}")
+}
+
+fn bulk_listing(w: usize, k: usize) -> u64 {
+    (w as u64 + 1) * 10_000_000 + k as u64
+}
+
+fn base_index() -> Arc<BroadMatchIndex> {
+    let mut b = IndexBuilder::new();
+    b.add("anchor stable", AdInfo::with_bid(1, 11)).unwrap();
+    // Base body over a shared vocabulary so compaction rebuilds real nodes.
+    let mut rng = Pcg32::seed_from_u64(0xBA5E);
+    for i in 0..80u64 {
+        let len = rng.gen_range_inclusive(1..=4);
+        let phrase: Vec<String> = (0..len)
+            .map(|_| format!("w{}", rng.gen_index(10)))
+            .collect();
+        b.add(&phrase.join(" "), AdInfo::with_bid(100 + i, 10))
+            .unwrap();
+    }
+    Arc::new(b.build().unwrap())
+}
+
+/// Retry-on-overload query wrapper (single-core CI hosts can overrun the
+/// queues while the compactor holds the core).
+fn query(runtime: &ServeRuntime, q: &str, mt: MatchType) -> broadmatch_serve::QueryResponse {
+    loop {
+        match runtime.query(q, mt) {
+            Ok(resp) => return resp,
+            Err(ServeError::Overloaded { retry_after }) => {
+                std::thread::sleep(retry_after.min(Duration::from_micros(500)));
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// The multiset key for comparing two indexes ad-for-ad.
+fn export_key(index: &BroadMatchIndex) -> Vec<(String, u64, u64)> {
+    let mut out: Vec<(String, u64, u64)> = index
+        .export_ads()
+        .into_iter()
+        .map(|(phrase, _, info)| {
+            (
+                tokenize(&phrase).join(" "),
+                info.listing_id,
+                info.bid_micros,
+            )
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn readers_stay_consistent_across_live_updates_and_compactions() {
+    let base = base_index();
+    let runtime = ServeRuntime::start_maintained(
+        Arc::clone(&base),
+        ServeConfig {
+            n_shards: 4,
+            n_workers: 4,
+            ..ServeConfig::default()
+        },
+        UpdateConfig {
+            max_overlay_ads: 24,
+            check_interval: Duration::from_millis(2),
+            ..UpdateConfig::default()
+        },
+    );
+
+    let writers_left = AtomicU64::new(N_WRITERS as u64);
+    let writers_done = AtomicBool::new(false);
+    let checked = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for w in 0..N_WRITERS {
+            let runtime = &runtime;
+            let writers_left = &writers_left;
+            let writers_done = &writers_done;
+            s.spawn(move || {
+                let phrase = stream_phrase(w);
+                let mut toggles = 0usize;
+                let mut prev: Option<u64> = None;
+                for k in 0..BULK_PER_WRITER {
+                    runtime
+                        .insert(&bulk_phrase(w, k), AdInfo::with_bid(bulk_listing(w, k), 10))
+                        .unwrap();
+                    // Pace the writer so the churn window spans many
+                    // compactor ticks (2 ms interval) instead of finishing
+                    // before the first one.
+                    std::thread::sleep(Duration::from_micros(200));
+                    if k % 2 == 0 && toggles < TOGGLES_PER_WRITER {
+                        if let Some(p) = prev {
+                            // The predecessor is live somewhere — overlay or
+                            // already folded into a base — and must be found.
+                            assert_eq!(runtime.remove(&phrase, p), 1, "toggle {toggles}");
+                        }
+                        let listing = stream_listing(w, toggles);
+                        runtime
+                            .insert(&phrase, AdInfo::with_bid(listing, 20))
+                            .unwrap();
+                        prev = Some(listing);
+                        toggles += 1;
+                    }
+                }
+                if writers_left.fetch_sub(1, SeqCst) == 1 {
+                    writers_done.store(true, SeqCst);
+                }
+            });
+        }
+
+        for r in 0..N_READERS {
+            let runtime = &runtime;
+            let writers_done = &writers_done;
+            let checked = &checked;
+            s.spawn(move || {
+                let mut rng = Pcg32::seed_from_u64(0xC0DE + r as u64);
+                let mut last_version = 0u64;
+                let mut last_stream_listing = [0u64; N_WRITERS];
+                let mut seen_bulk: HashSet<(usize, usize)> = HashSet::new();
+                while !writers_done.load(SeqCst) {
+                    // Anchor: a base ad no writer touches never flickers,
+                    // whatever generation serves the query.
+                    let resp = query(runtime, "anchor stable", MatchType::Exact);
+                    assert!(
+                        resp.version >= last_version,
+                        "version went backwards: {} after {last_version}",
+                        resp.version
+                    );
+                    last_version = resp.version;
+                    assert_eq!(resp.hits.len(), 1, "anchor lost at v{}", resp.version);
+                    assert_eq!(resp.hits[0].info.listing_id, 1);
+
+                    // Toggled ad: at most one live incarnation, and its
+                    // listing id never goes backwards (remove+insert pairs
+                    // are observed atomically in publication order).
+                    let w = rng.gen_index(N_WRITERS);
+                    let resp = query(runtime, &stream_phrase(w), MatchType::Exact);
+                    assert!(resp.version >= last_version);
+                    last_version = resp.version;
+                    assert!(
+                        resp.hits.len() <= 1,
+                        "torn toggle at v{}: {:?}",
+                        resp.version,
+                        resp.hits
+                    );
+                    if let Some(h) = resp.hits.first() {
+                        assert!(
+                            h.info.listing_id >= last_stream_listing[w],
+                            "stream{w} regressed to {} after {} at v{}",
+                            h.info.listing_id,
+                            last_stream_listing[w],
+                            resp.version
+                        );
+                        last_stream_listing[w] = h.info.listing_id;
+                    }
+
+                    // Bulk ads are never removed: once a reader has seen
+                    // one, every later snapshot must still hold it.
+                    let k = rng.gen_index(BULK_PER_WRITER);
+                    let resp = query(runtime, &bulk_phrase(w, k), MatchType::Exact);
+                    assert!(resp.version >= last_version);
+                    last_version = resp.version;
+                    if !resp.hits.is_empty() {
+                        assert_eq!(resp.hits[0].info.listing_id, bulk_listing(w, k));
+                        seen_bulk.insert((w, k));
+                    } else {
+                        assert!(
+                            !seen_bulk.contains(&(w, k)),
+                            "bulk{w} item{k} vanished at v{}",
+                            resp.version
+                        );
+                    }
+                    checked.fetch_add(1, SeqCst);
+                }
+            });
+        }
+    });
+    assert!(checked.load(SeqCst) > 50, "readers barely ran");
+
+    // The thresholds must have tripped the background worker *during* the
+    // churn — before the explicit quiesce fold below.
+    let background_compactions = runtime.metrics().compactions;
+    assert!(
+        background_compactions >= 1,
+        "thresholds never tripped the background worker"
+    );
+
+    // Quiesce: fold whatever is left, then the final state must equal a
+    // from-scratch rebuild of (base + surviving updates).
+    runtime.compact_now().unwrap();
+    let metrics = runtime.metrics();
+    assert_eq!(metrics.overlay_ads, 0);
+    assert_eq!(metrics.overlay_tombstones, 0);
+    assert_eq!(metrics.overlay_dead_bytes, 0);
+
+    let mut expected = IndexBuilder::new();
+    for (phrase, _, info) in base.export_ads() {
+        expected.add(&phrase, info).unwrap();
+    }
+    for w in 0..N_WRITERS {
+        for k in 0..BULK_PER_WRITER {
+            expected
+                .add(&bulk_phrase(w, k), AdInfo::with_bid(bulk_listing(w, k), 10))
+                .unwrap();
+        }
+        // Each writer's last toggle insert survives; its predecessors died.
+        expected
+            .add(
+                &stream_phrase(w),
+                AdInfo::with_bid(stream_listing(w, TOGGLES_PER_WRITER - 1), 20),
+            )
+            .unwrap();
+    }
+    let expected = expected.build().unwrap();
+
+    let (compacted, _) = runtime.current();
+    assert_eq!(
+        export_key(&compacted),
+        export_key(&expected),
+        "compacted ad multiset diverged from a fresh rebuild"
+    );
+
+    // Query battery: the served index answers like the fresh rebuild.
+    let mut rng = Pcg32::seed_from_u64(0xF1A7);
+    for _ in 0..50 {
+        let len = rng.gen_range_inclusive(1..=5);
+        let mut words: Vec<String> = (0..len)
+            .map(|_| format!("w{}", rng.gen_index(10)))
+            .collect();
+        if rng.gen_bool(0.3) {
+            let w = rng.gen_index(N_WRITERS);
+            words.push(if rng.gen_bool(0.5) {
+                format!("stream{w}")
+            } else {
+                format!("bulk{w}")
+            });
+            words.push("alpha".to_string());
+        }
+        let q = words.join(" ");
+        let mt = match rng.gen_index(3) {
+            0 => MatchType::Exact,
+            1 => MatchType::Phrase,
+            _ => MatchType::Broad,
+        };
+        let mut got: Vec<(u64, u64)> = query(&runtime, &q, mt)
+            .hits
+            .iter()
+            .map(|h| (h.info.listing_id, h.info.bid_micros))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = expected
+            .query(&q, mt)
+            .iter()
+            .map(|h| (h.info.listing_id, h.info.bid_micros))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "{mt:?} query {q:?} diverged post-compaction");
+    }
+}

@@ -10,18 +10,23 @@
 //! Commands: plain text runs a broad-match auction; `:exact <q>` /
 //! `:phrase <q>` switch semantics; `:stats <q>` shows query processing
 //! statistics; `:reload <seed>` rebuilds the corpus at a new seed and
-//! publishes it without stopping the pool; `:metrics` dumps the full
-//! telemetry registry in Prometheus text format; `:trace` shows the most
-//! recent sampled query span traces; `:quit` exits.
+//! publishes it without stopping the pool; `:insert <listing> <bid_cents>
+//! <phrase>` adds an ad through the delta overlay (visible to the next
+//! query); `:remove <listing> <phrase>` deletes by exact phrase + listing;
+//! `:compact` folds the overlay into a rebuilt base immediately (a
+//! background worker also folds when the overlay thresholds trip);
+//! `:metrics` dumps the full telemetry registry in Prometheus text format;
+//! `:trace` shows the most recent sampled query span traces; `:quit`
+//! exits.
 
 use std::io::BufRead;
 use std::sync::Arc;
 
 use sponsored_search::broadmatch::{
-    BroadMatchIndex, IndexBuilder, IndexConfig, MatchType, RemapMode,
+    AdInfo, BroadMatchIndex, IndexBuilder, IndexConfig, MatchType, RemapMode,
 };
 use sponsored_search::corpus::{AdCorpus, CorpusConfig, QueryGenConfig, Workload};
-use sponsored_search::serve::{ServeConfig, ServeError, ServeRuntime};
+use sponsored_search::serve::{ServeConfig, ServeError, ServeRuntime, UpdateConfig};
 
 fn build(seed: u64) -> (AdCorpus, Arc<BroadMatchIndex>) {
     let corpus = AdCorpus::generate(CorpusConfig::benchmark(20_000, seed));
@@ -42,13 +47,14 @@ fn main() {
     eprintln!("building a 20K-ad synthetic index...");
     let (corpus, index) = build(7);
     let stats = index.stats();
-    let runtime = ServeRuntime::start(
+    let runtime = ServeRuntime::start_maintained(
         index,
         ServeConfig {
             n_shards: 4,
             n_workers: 4,
             ..ServeConfig::default()
         },
+        UpdateConfig::default(),
     );
     eprintln!(
         "ready: {} ads, {} word sets, {} nodes, {} KiB arena + {} KiB directory",
@@ -67,7 +73,10 @@ fn main() {
         "example corpus words look like: {:?}",
         &corpus.wordset_phrases()[..3]
     );
-    eprintln!("type a query (or :exact/:phrase/:stats/:reload/:metrics/:trace/:quit):");
+    eprintln!(
+        "type a query (or :exact/:phrase/:stats/:reload/:insert/:remove/:compact\
+         /:metrics/:trace/:quit):"
+    );
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -115,6 +124,61 @@ fn main() {
                         s.name, s.start_us, s.dur_us
                     );
                 }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":insert ") {
+            let mut parts = rest.trim().splitn(3, char::is_whitespace);
+            let (listing, bid, phrase) = (parts.next(), parts.next(), parts.next());
+            let parsed = listing
+                .and_then(|l| l.parse::<u64>().ok())
+                .zip(bid.and_then(|b| b.parse::<u32>().ok()))
+                .zip(phrase);
+            let Some(((listing_id, bid_cents), phrase)) = parsed else {
+                println!("usage: :insert <listing_id> <bid_cents> <phrase>");
+                continue;
+            };
+            match runtime.insert(phrase, AdInfo::with_bid(listing_id, bid_cents)) {
+                Ok(id) => {
+                    let m = runtime.metrics();
+                    println!(
+                        "inserted ad {id:?} for listing {listing_id} (overlay: {} ads, \
+                         {} tombstones; snapshot v{})",
+                        m.overlay_ads, m.overlay_tombstones, m.version
+                    );
+                }
+                Err(e) => println!("insert failed: {e}"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":remove ") {
+            let mut parts = rest.trim().splitn(2, char::is_whitespace);
+            let parsed = parts
+                .next()
+                .and_then(|l| l.parse::<u64>().ok())
+                .zip(parts.next());
+            let Some((listing_id, phrase)) = parsed else {
+                println!("usage: :remove <listing_id> <phrase>");
+                continue;
+            };
+            let removed = runtime.remove(phrase, listing_id);
+            let m = runtime.metrics();
+            println!(
+                "removed {removed} ad(s) (overlay: {} ads, {} tombstones, {} dead bytes)",
+                m.overlay_ads, m.overlay_tombstones, m.overlay_dead_bytes
+            );
+            continue;
+        }
+        if line == ":compact" {
+            let start = std::time::Instant::now();
+            match runtime.compact_now() {
+                Ok(Some(version)) => println!(
+                    "folded the overlay into snapshot v{version} in {:.1} ms \
+                     (readers never blocked)",
+                    start.elapsed().as_secs_f64() * 1e3
+                ),
+                Ok(None) => println!("overlay empty; nothing to fold"),
+                Err(e) => println!("compaction failed: {e}"),
             }
             continue;
         }

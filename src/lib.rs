@@ -24,7 +24,9 @@
 //!   histograms feeding back into [`netsim`];
 //! * [`telemetry`] — dependency-free counters, gauges, latency histograms,
 //!   a sampling span tracer, and Prometheus text exposition shared by
-//!   every crate above.
+//!   every crate above;
+//! * [`rng`] — the seeded PCG32/SplitMix64 generators behind every
+//!   reproducible corpus, workload, and randomized test sequence.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
@@ -34,6 +36,7 @@ pub use broadmatch_corpus as corpus;
 pub use broadmatch_invidx as invidx;
 pub use broadmatch_memcost as memcost;
 pub use broadmatch_netsim as netsim;
+pub use broadmatch_rng as rng;
 pub use broadmatch_serve as serve;
 pub use broadmatch_setcover as setcover;
 pub use broadmatch_succinct as succinct;

@@ -1,0 +1,262 @@
+//! Differential testing: the index (every directory kind, with and
+//! without re-mapping) against a naive string-level reference scan, under
+//! randomized insert/remove/fold sequences through the delta overlay.
+//!
+//! The reference model is a plain `Vec<(phrase, AdInfo)>` matched by
+//! re-deriving the paper's semantics from the raw strings on every query —
+//! no shared code with the index beyond the tokenizer. Any divergence in
+//! subset probing, re-mapping, overlay consultation, tombstone filtering,
+//! or fold reconstruction shows up as a mismatched hit multiset.
+
+use sponsored_search::broadmatch::{
+    fold_duplicates, tokenize, AdInfo, BroadMatchIndex, DeltaOverlay, DirectoryKind, IndexBuilder,
+    IndexConfig, MatchType, RemapMode,
+};
+use sponsored_search::rng::{Pcg32, RandomSource};
+
+/// A listing id no generated ad ever uses: removes targeting it must be
+/// no-ops.
+const MISSING_LISTING: u64 = 999_999_999;
+
+/// The naive reference: live ads as raw strings, matched per the paper's
+/// definitions on every query.
+#[derive(Default)]
+struct Reference {
+    ads: Vec<(String, AdInfo)>,
+}
+
+impl Reference {
+    fn insert(&mut self, phrase: &str, info: AdInfo) {
+        self.ads.push((phrase.to_string(), info));
+    }
+
+    /// Remove every ad with this exact phrase (token-level) and listing.
+    fn remove(&mut self, phrase: &str, listing_id: u64) -> usize {
+        let target = tokenize(phrase);
+        let before = self.ads.len();
+        self.ads
+            .retain(|(p, info)| !(info.listing_id == listing_id && tokenize(p) == target));
+        before - self.ads.len()
+    }
+
+    /// Scan every live ad; return the matching `AdInfo`s as a sorted
+    /// multiset key.
+    fn query(&self, query_text: &str, match_type: MatchType) -> Vec<(u64, u32, u64)> {
+        let q_raw = tokenize(query_text);
+        let q_keys: Vec<String> = fold_duplicates(&q_raw).iter().map(|t| t.key()).collect();
+        let mut out: Vec<(u64, u32, u64)> = self
+            .ads
+            .iter()
+            .filter(|(p, _)| {
+                let a_raw = tokenize(p);
+                match match_type {
+                    MatchType::Broad => fold_duplicates(&a_raw)
+                        .iter()
+                        .all(|t| q_keys.iter().any(|k| *k == t.key())),
+                    MatchType::Exact => a_raw == q_raw,
+                    MatchType::Phrase => {
+                        !a_raw.is_empty()
+                            && q_raw.windows(a_raw.len()).any(|w| w == a_raw.as_slice())
+                    }
+                }
+            })
+            .map(|(_, info)| (info.listing_id, info.campaign_id, info.bid_micros))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+fn random_phrase(rng: &mut Pcg32, vocab: &[String]) -> String {
+    let len = rng.gen_range_inclusive(1..=6);
+    (0..len)
+        .map(|_| vocab[rng.gen_index(vocab.len())].clone())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn random_query(rng: &mut Pcg32, vocab: &[String]) -> String {
+    let len = rng.gen_range_inclusive(2..=7);
+    let mut words: Vec<String> = (0..len)
+        .map(|_| vocab[rng.gen_index(vocab.len())].clone())
+        .collect();
+    // Sometimes salt in a word no corpus phrase (and possibly no base
+    // vocabulary entry) contains.
+    if rng.gen_bool(0.15) {
+        words.push(format!("zzz{}", rng.gen_index(5)));
+    }
+    rng.shuffle(&mut words);
+    words.join(" ")
+}
+
+fn random_match_type(rng: &mut Pcg32) -> MatchType {
+    match rng.gen_index(4) {
+        0 => MatchType::Exact,
+        1 => MatchType::Phrase,
+        _ => MatchType::Broad,
+    }
+}
+
+fn hit_multiset(
+    base: &BroadMatchIndex,
+    overlay: &DeltaOverlay,
+    query_text: &str,
+    match_type: MatchType,
+) -> Vec<(u64, u32, u64)> {
+    let (hits, _) = base.query_with_overlay(overlay, query_text, match_type);
+    let mut out: Vec<(u64, u32, u64)> = hits
+        .iter()
+        .map(|h| (h.info.listing_id, h.info.campaign_id, h.info.bid_micros))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn build_base(ads: &[(String, AdInfo)], config: &IndexConfig) -> BroadMatchIndex {
+    let mut builder = IndexBuilder::with_config(*config);
+    for (phrase, info) in ads {
+        builder.add(phrase, *info).expect("generated phrases fit");
+    }
+    builder.build().expect("valid config")
+}
+
+/// Run `steps` randomized operations for one (seed, config) pair,
+/// cross-checking every query against the reference scan.
+fn run_differential(seed: u64, config: IndexConfig, steps: usize) {
+    let label = format!("{:?}/{:?} seed {seed}", config.directory, config.remap);
+    let mut rng = Pcg32::seed_from_u64(seed);
+
+    // Small vocabulary: dense enough that random queries actually match
+    // and random phrases collide into shared word-set nodes.
+    let vocab: Vec<String> = (0..32).map(|i| format!("word{i}")).collect();
+
+    // Seed corpus.
+    let mut reference = Reference::default();
+    let mut next_listing: u64 = 1;
+    for _ in 0..rng.gen_range_inclusive(80..=150) {
+        let phrase = random_phrase(&mut rng, &vocab);
+        let info = AdInfo::with_bid(next_listing, rng.gen_range_inclusive(1..=500) as u32);
+        next_listing += 1;
+        reference.insert(&phrase, info);
+    }
+    let mut base = build_base(&reference.ads, &config);
+    let mut overlay = DeltaOverlay::for_base(&base);
+
+    let mut queries = 0usize;
+    let mut inserts = 0usize;
+    let mut removes = 0usize;
+    let mut folds = 0usize;
+    for step in 0..steps {
+        let roll = rng.gen_f64();
+        if roll < 0.60 {
+            // Query: index+overlay vs reference scan, exact multiset.
+            let q = random_query(&mut rng, &vocab);
+            let mt = random_match_type(&mut rng);
+            let got = hit_multiset(&base, &overlay, &q, mt);
+            let want = reference.query(&q, mt);
+            assert_eq!(got, want, "[{label}] step {step}: {mt:?} query {q:?}");
+            queries += 1;
+        } else if roll < 0.85 {
+            let phrase = random_phrase(&mut rng, &vocab);
+            let info = AdInfo::with_bid(next_listing, rng.gen_range_inclusive(1..=500) as u32);
+            next_listing += 1;
+            overlay.insert(&phrase, info).expect("valid phrase");
+            reference.insert(&phrase, info);
+            inserts += 1;
+        } else if roll < 0.95 {
+            if rng.gen_bool(0.2) || reference.ads.is_empty() {
+                // Guaranteed miss: nothing carries this listing.
+                let phrase = random_phrase(&mut rng, &vocab);
+                assert_eq!(overlay.remove(&base, &phrase, MISSING_LISTING), 0);
+                assert_eq!(reference.remove(&phrase, MISSING_LISTING), 0);
+            } else {
+                let (phrase, info) = reference.ads[rng.gen_index(reference.ads.len())].clone();
+                let got = overlay.remove(&base, &phrase, info.listing_id);
+                let want = reference.remove(&phrase, info.listing_id);
+                assert_eq!(got, want, "[{label}] step {step}: remove {phrase:?}");
+                assert!(want >= 1);
+                removes += 1;
+            }
+        } else {
+            // Fold: Section VI maintenance — rebuild the base from
+            // base-minus-tombstones plus the overlay, fresh overlay after.
+            base = overlay.fold(&base, None).expect("fold succeeds");
+            overlay = DeltaOverlay::for_base(&base);
+            folds += 1;
+        }
+    }
+
+    // Final fold, then a fixed query battery against the clean base.
+    base = overlay.fold(&base, None).expect("final fold");
+    overlay = DeltaOverlay::for_base(&base);
+    for _ in 0..50 {
+        let q = random_query(&mut rng, &vocab);
+        let mt = random_match_type(&mut rng);
+        assert_eq!(
+            hit_multiset(&base, &overlay, &q, mt),
+            reference.query(&q, mt),
+            "[{label}] post-fold query {q:?}"
+        );
+    }
+    assert!(
+        queries > steps / 2 && inserts > 0 && removes > 0 && folds > 0,
+        "[{label}] op mix degenerate: {queries} queries, {inserts} inserts, \
+         {removes} removes, {folds} folds"
+    );
+}
+
+fn config(directory: DirectoryKind, remap: RemapMode, max_words: usize) -> IndexConfig {
+    IndexConfig {
+        max_words,
+        remap,
+        directory,
+        ..IndexConfig::default()
+    }
+}
+
+/// The CI matrix: two pinned seeds, both directory kinds of the paper's
+/// evaluation, with and without re-mapping. Each cell runs 1100 randomized
+/// steps plus the post-fold battery.
+#[test]
+fn differential_hash_no_remap() {
+    for seed in [101, 202] {
+        run_differential(
+            seed,
+            config(DirectoryKind::HashTable, RemapMode::None, 4),
+            1100,
+        );
+    }
+}
+
+#[test]
+fn differential_hash_full_remap() {
+    for seed in [101, 202] {
+        run_differential(
+            seed,
+            config(DirectoryKind::HashTable, RemapMode::Full, 3),
+            1100,
+        );
+    }
+}
+
+#[test]
+fn differential_succinct_no_remap() {
+    for seed in [101, 202] {
+        run_differential(
+            seed,
+            config(DirectoryKind::Succinct, RemapMode::None, 4),
+            1100,
+        );
+    }
+}
+
+#[test]
+fn differential_succinct_full_remap() {
+    for seed in [101, 202] {
+        run_differential(
+            seed,
+            config(DirectoryKind::Succinct, RemapMode::Full, 3),
+            1100,
+        );
+    }
+}
