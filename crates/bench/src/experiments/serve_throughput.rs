@@ -123,6 +123,7 @@ fn run_cell(
     std::thread::scope(|s| {
         for _ in 0..N_CLIENTS {
             s.spawn(|| loop {
+                // ORDER: Relaxed — work-distribution counter; uniqueness from fetch_add, no memory published through it.
                 let i = next.fetch_add(1, Relaxed);
                 let Some(query) = trace.get(i) else { return };
                 loop {
@@ -132,6 +133,7 @@ fn run_cell(
                             break;
                         }
                         Err(ServeError::Overloaded { retry_after }) => {
+                            // ORDER: Relaxed — benchmark statistic; exactness from the RMW, ordering irrelevant.
                             rejected.fetch_add(1, Relaxed);
                             std::thread::sleep(retry_after.min(Duration::from_micros(500)));
                         }
@@ -150,6 +152,7 @@ fn run_cell(
         qps: trace.len() as f64 / wall,
         mean_ms: metrics.query_latency.mean_ms(),
         p95_ms: metrics.query_latency.percentile_ms(0.95),
+        // ORDER: Relaxed — final single-threaded readback after the scope joins.
         rejected: rejected.load(Relaxed),
         reject_ratio: metrics.rejected as f64 / attempts.max(1) as f64,
         shard_rejects: metrics.shard_rejects.clone(),

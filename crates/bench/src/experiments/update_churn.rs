@@ -132,6 +132,7 @@ fn replay_once(runtime: &ServeRuntime, trace: &[String], phase: &'static str) ->
             s.spawn(|| {
                 let mut local = Vec::with_capacity(trace.len() / N_READERS + 1);
                 loop {
+                    // ORDER: Relaxed — work-distribution counter; uniqueness from fetch_add, no memory published through it.
                     let i = next.fetch_add(1, Relaxed);
                     let Some(query) = trace.get(i) else { break };
                     loop {
@@ -143,6 +144,7 @@ fn replay_once(runtime: &ServeRuntime, trace: &[String], phase: &'static str) ->
                                 break;
                             }
                             Err(ServeError::Overloaded { retry_after }) => {
+                                // ORDER: Relaxed — benchmark statistic; exactness from the RMW, ordering irrelevant.
                                 rejected.fetch_add(1, Relaxed);
                                 std::thread::sleep(retry_after.min(Duration::from_micros(500)));
                             }
@@ -163,6 +165,7 @@ fn replay_once(runtime: &ServeRuntime, trace: &[String], phase: &'static str) ->
         qps: samples.len() as f64 / wall,
         p50_ms: percentile(&samples, 0.50),
         p99_ms: percentile(&samples, 0.99),
+        // ORDER: Relaxed — final single-threaded readback after the scope joins.
         rejected: rejected.load(Relaxed),
     }
 }
@@ -197,9 +200,11 @@ fn run_churn(
                     runtime
                         .insert(&ad.phrase, ad.info)
                         .expect("generated phrases are valid");
+                    // ORDER: Relaxed — benchmark statistic; exactness from the RMW, ordering irrelevant.
                     inserts.fetch_add(1, Relaxed);
                     if k % REMOVE_EVERY == REMOVE_EVERY - 1 {
                         let victim = my_victims.next().expect("victims nonempty");
+                        // ORDER: Relaxed — benchmark statistic; exactness from the RMW, ordering irrelevant.
                         removes.fetch_add(
                             runtime.remove(&victim.phrase, victim.info.listing_id),
                             Relaxed,
@@ -207,7 +212,9 @@ fn run_churn(
                     }
                     std::thread::sleep(WRITE_PACE);
                 }
+                // ORDER: Relaxed — last-writer detection only needs the RMW count; readers poll the flag below.
                 if writers_left.fetch_sub(1, Relaxed) == 1 {
+                    // ORDER: Relaxed — stop flag with no data published through it; readers only exit their loop.
                     writers_done.store(true, Relaxed);
                 }
             });
@@ -219,6 +226,7 @@ fn run_churn(
             s.spawn(move || {
                 let mut local = Vec::new();
                 let mut i = 0usize;
+                // ORDER: Relaxed — pairs with the stop-flag store; see above.
                 while !writers_done.load(Relaxed) {
                     let query = &trace[i % trace.len()];
                     i += 1;
@@ -229,6 +237,7 @@ fn run_churn(
                             local.push(t0.elapsed().as_secs_f64() * 1e3);
                         }
                         Err(ServeError::Overloaded { retry_after }) => {
+                            // ORDER: Relaxed — benchmark statistic; exactness from the RMW, ordering irrelevant.
                             rejected.fetch_add(1, Relaxed);
                             std::thread::sleep(retry_after.min(Duration::from_micros(500)));
                         }
@@ -248,8 +257,10 @@ fn run_churn(
         qps: samples.len() as f64 / wall,
         p50_ms: percentile(&samples, 0.50),
         p99_ms: percentile(&samples, 0.99),
+        // ORDER: Relaxed — final single-threaded readback after the scope joins.
         rejected: rejected.load(Relaxed),
     };
+    // ORDER: Relaxed — final single-threaded readback after the scope joins.
     (lat, inserts.load(Relaxed), removes.load(Relaxed))
 }
 

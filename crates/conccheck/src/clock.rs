@@ -1,0 +1,79 @@
+//! Vector clocks: the happens-before backbone of the memory model.
+//!
+//! Every model thread carries a [`VClock`]; synchronizing operations
+//! (release stores read by acquire loads, mutex hand-offs, spawn/join)
+//! join clocks. A store's visibility to a load is decided entirely by
+//! clock comparisons — see [`crate::engine`] for the rules.
+
+/// A grow-on-demand vector clock over model thread ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component for thread `t` (0 when never bumped).
+    pub fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component.
+    pub fn bump(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Pointwise maximum: after `a.join(&b)`, everything ordered before
+    /// either clock is ordered before `a`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `self ≤ other` pointwise: the event stamped `self` happens-before
+    /// (or is) the event stamped `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leq() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.bump(0);
+        b.bump(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(0), 1);
+        assert_eq!(j.get(1), 1);
+    }
+
+    #[test]
+    fn zero_clock_precedes_all() {
+        let z = VClock::new();
+        let mut a = VClock::new();
+        a.bump(3);
+        assert!(z.leq(&a));
+        assert!(!a.leq(&z));
+    }
+}

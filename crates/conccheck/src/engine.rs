@@ -1,0 +1,1122 @@
+//! The model-checking engine: a deterministic scheduler plus an axiomatic
+//! weak-memory model, explored either by seed-driven randomized priority
+//! preemption (PCT-style) or by exhaustive DFS over scheduling choices.
+//!
+//! # Execution model
+//!
+//! A *schedule* runs the model closure with every shim operation (atomic
+//! load/store/RMW, mutex lock/unlock, condvar wait/notify, spawn/join/
+//! yield) funneled through a single token: exactly one model thread owns
+//! the token at a time, and each operation ends by asking the strategy
+//! which thread runs next. Model threads are real OS threads, but shared
+//! state only changes inside token-holding operations, so the interleaving
+//! is exactly the sequence of strategy decisions — rerunning with the same
+//! seed replays the identical trace.
+//!
+//! # Memory model
+//!
+//! Per atomic location the engine keeps the *modification order*: every
+//! store, stamped with the storing thread's vector clock (`hb`) and a
+//! release-sequence message clock (`msg`). A load may read any store not
+//! yet *overwritten for this thread*: stores older than the newest store
+//! that happens-before the loading thread, or older than one this thread
+//! already observed (per-thread coherence floor), are unreadable. Acquire
+//! loads join the message clock of the store they read; release stores
+//! publish the storer's clock; RMWs read the latest store in modification
+//! order (atomicity) and continue its release sequence. `SeqCst`
+//! operations additionally join a global SC clock both ways, which orders
+//! them totally — a slight over-approximation for programs mixing `SeqCst`
+//! with weaker orderings (it may hide bugs that need a weak `SeqCst`
+//! fence semantics), but exact for all-`SeqCst`, all-acquire/release, and
+//! all-relaxed protocols, which is what the repo's models exercise.
+//!
+//! # What it flags
+//!
+//! - **Assertion failures** in model code, with the failing interleaving's
+//!   trace and the seed to replay it.
+//! - **Deadlocks**: every unfinished thread blocked on a mutex, join, or
+//!   un-notified untimed condvar wait.
+//! - **Livelocks / runaway schedules** via a per-schedule step limit.
+//! - **Lost-update warnings**: a plain (non-RMW) store overwriting a store
+//!   the writer has not observed — the load-then-store race shape.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
+
+use crate::clock::VClock;
+
+/// Atomic memory orderings, shared with `std` so model code reads
+/// identically in both build modes.
+pub use std::sync::atomic::Ordering;
+
+/// Engine tuning knobs. The defaults suit protocol models with a handful
+/// of threads and a few dozen operations.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Per-schedule operation budget; exceeding it is reported as a
+    /// livelock / unbounded spin.
+    pub max_steps: u64,
+    /// PCT preemption budget: how many random priority-lowering points a
+    /// seeded schedule may inject.
+    pub preemption_bound: u32,
+    /// DFS schedule budget; exploration stops (reported as truncated)
+    /// when it is exhausted.
+    pub max_schedules: usize,
+    /// Per-location store-history cap: older stores fall out of the
+    /// readable window (bounds DFS branching).
+    pub store_history: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_steps: 20_000,
+            preemption_bound: 3,
+            max_schedules: 10_000,
+            store_history: 8,
+        }
+    }
+}
+
+/// One counterexample: the interleaving that broke the model.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (assertion message, deadlock report, step limit).
+    pub message: String,
+    /// The seed that produces this interleaving (`None` under DFS).
+    pub seed: Option<u64>,
+    /// Index of the failing schedule within the exploration.
+    pub schedule: usize,
+    /// The operation trace of the failing schedule, one line per op.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model failure (schedule {}, seed {:?}): {}",
+            self.schedule, self.seed, self.message
+        )?;
+        writeln!(f, "trace ({} ops):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Model name (for messages).
+    pub name: String,
+    /// Schedules executed.
+    pub schedules: usize,
+    /// First failure found, if any.
+    pub failure: Option<Failure>,
+    /// DFS ran out of `max_schedules` before exhausting the space.
+    pub truncated: bool,
+    /// Total lost-update warnings across all schedules (see module docs).
+    pub lost_update_warnings: usize,
+}
+
+impl Report {
+    /// Panic with the counterexample if the exploration found one.
+    pub fn assert_pass(&self) {
+        if let Some(f) = &self.failure {
+            panic!("conccheck model '{}' failed:\n{f}", self.name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy: who runs next, which store a load reads.
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64: the only randomness source in the engine,
+/// fully determined by the schedule seed.
+#[derive(Debug)]
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One recorded DFS branching decision.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    pub(crate) chosen: usize,
+    pub(crate) options: usize,
+}
+
+#[derive(Debug)]
+pub(crate) enum Strategy {
+    /// Randomized priority preemption (PCT-style): threads carry random
+    /// priorities, the highest-priority runnable thread runs, and up to
+    /// `preemptions_left` random points lower the running thread below
+    /// everyone else. Load choices are uniform over the readable window.
+    Pct {
+        rng: Rng,
+        preemptions_left: u32,
+        low_water: i64,
+    },
+    /// Exhaustive DFS over every branching decision (thread choice and
+    /// load choice), replaying a recorded prefix and extending it.
+    Dfs { path: Vec<Choice>, cursor: usize },
+}
+
+impl Strategy {
+    fn pct(seed: u64, preemption_bound: u32) -> Self {
+        Strategy::Pct {
+            rng: Rng::new(seed),
+            preemptions_left: preemption_bound,
+            low_water: 0,
+        }
+    }
+
+    /// Pick among `n` equivalent options (load targets, DFS thread picks).
+    fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        if n == 1 {
+            return 0;
+        }
+        match self {
+            Strategy::Pct { rng, .. } => (rng.next() % n as u64) as usize,
+            Strategy::Dfs { path, cursor } => {
+                let c = if *cursor < path.len() {
+                    path[*cursor].chosen
+                } else {
+                    path.push(Choice {
+                        chosen: 0,
+                        options: n,
+                    });
+                    0
+                };
+                *cursor += 1;
+                c
+            }
+        }
+    }
+
+    fn new_priority(&mut self) -> i64 {
+        match self {
+            // Positive band, far above the deprioritization low-water.
+            Strategy::Pct { rng, .. } => (rng.next() >> 2) as i64 + 1,
+            Strategy::Dfs { .. } => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state.
+// ---------------------------------------------------------------------------
+
+type Tid = usize;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Run {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedJoin(Tid),
+    CvWait {
+        cv: usize,
+        timed: bool,
+        notified: bool,
+    },
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    run: Run,
+    clock: VClock,
+    final_clock: VClock,
+    priority: i64,
+    yielded: bool,
+    /// Set by the scheduler when resuming a condvar waiter: `true` when
+    /// the wake models a timeout rather than a notification.
+    wake_timed_out: bool,
+}
+
+/// One store in a location's modification order.
+#[derive(Debug)]
+struct StoreElem {
+    val: u64,
+    /// Storing thread's full clock at the store: decides overwriting.
+    hb: VClock,
+    /// Release-sequence message clock: what an acquire load joins.
+    msg: VClock,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Location {
+    stores: VecDeque<StoreElem>,
+    next_seq: u64,
+    /// Per-thread coherence floor: lowest readable `seq`.
+    floor: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct MutexSt {
+    holder: Option<Tid>,
+    /// Clock of the last unlock: joined by the next acquirer.
+    clock: VClock,
+}
+
+struct St {
+    opts: Options,
+    strategy: Strategy,
+    threads: Vec<ThreadSt>,
+    locs: Vec<Location>,
+    mutexes: Vec<MutexSt>,
+    condvars: usize,
+    sc_clock: VClock,
+    cur: Tid,
+    steps: u64,
+    aborted: bool,
+    done: bool,
+    failure: Option<Failure>,
+    lost_update_warnings: usize,
+    trace: Vec<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl St {
+    fn new(opts: Options, strategy: Strategy) -> Self {
+        let mut root_clock = VClock::new();
+        root_clock.bump(0);
+        St {
+            opts,
+            strategy,
+            threads: vec![ThreadSt {
+                run: Run::Runnable,
+                clock: root_clock,
+                final_clock: VClock::new(),
+                priority: i64::MAX, // root runs first until it spawns
+                yielded: false,
+                wake_timed_out: false,
+            }],
+            locs: Vec::new(),
+            mutexes: Vec::new(),
+            condvars: 0,
+            sc_clock: VClock::new(),
+            cur: 0,
+            steps: 0,
+            aborted: false,
+            done: false,
+            failure: None,
+            lost_update_warnings: 0,
+            trace: Vec::new(),
+            os_handles: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                message,
+                seed: None,
+                schedule: 0,
+                trace: self.trace.clone(),
+            });
+        }
+        self.aborted = true;
+    }
+
+    fn trace_op(&mut self, tid: Tid, desc: String) {
+        if self.trace.len() < 100_000 {
+            self.trace.push(format!("t{tid} {desc}"));
+        }
+    }
+
+    /// Threads the scheduler may hand the token to right now. A timed or
+    /// notified condvar waiter counts: selecting it models the timeout
+    /// firing (or the notified thread winning the race to reacquire).
+    fn candidates(&self) -> Vec<Tid> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match &t.run {
+                Run::Runnable => true,
+                Run::CvWait {
+                    timed, notified, ..
+                } => *timed || *notified,
+                _ => false,
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick the next thread to run; returns `None` when the schedule is
+    /// complete or deadlocked (failure recorded).
+    fn pick_next(&mut self, me: Tid) -> Option<Tid> {
+        let cands = self.candidates();
+        if cands.is_empty() {
+            if self.threads.iter().all(|t| t.run == Run::Finished) {
+                self.done = true;
+            } else {
+                let blocked: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.run != Run::Finished)
+                    .map(|(i, t)| format!("t{i}:{:?}", t.run))
+                    .collect();
+                self.fail(format!("deadlock: {}", blocked.join(", ")));
+            }
+            return None;
+        }
+        // Yield fairness: a yielded thread only runs again once every
+        // other candidate has yielded too (then the slate resets).
+        let active: Vec<Tid> = cands
+            .iter()
+            .copied()
+            .filter(|&t| !self.threads[t].yielded)
+            .collect();
+        let pool = if active.is_empty() {
+            for &t in &cands {
+                self.threads[t].yielded = false;
+            }
+            cands
+        } else {
+            active
+        };
+        let next = match &mut self.strategy {
+            Strategy::Pct {
+                rng,
+                preemptions_left,
+                low_water,
+            } => {
+                // PCT change point: occasionally drop the running thread
+                // below everyone, forcing a preemption.
+                if *preemptions_left > 0 && pool.len() > 1 && rng.next() % 8 == 0 {
+                    *preemptions_left -= 1;
+                    *low_water -= 1;
+                    if let Some(t) = self.threads.get_mut(me) {
+                        t.priority = *low_water;
+                    }
+                }
+                *pool
+                    .iter()
+                    .max_by_key(|&&t| (self.threads[t].priority, std::cmp::Reverse(t)))
+                    .expect("nonempty pool")
+            }
+            Strategy::Dfs { .. } => pool[self.strategy.choose(pool.len())],
+        };
+        // Resuming a condvar waiter resolves how it woke.
+        if let Run::CvWait { notified, .. } = self.threads[next].run.clone() {
+            self.threads[next].wake_timed_out = !notified;
+            self.threads[next].run = Run::Runnable;
+        }
+        self.cur = next;
+        Some(next)
+    }
+
+    // -- memory model ------------------------------------------------------
+
+    fn alloc_loc(&mut self, init: u64, creator: Tid) -> usize {
+        let clock = self.threads[creator].clock.clone();
+        self.locs.push(Location {
+            stores: VecDeque::from([StoreElem {
+                val: init,
+                hb: clock.clone(),
+                // The initial value is published by whatever mechanism
+                // shares the atomic (spawn, mutex), so its message clock
+                // is the creator's clock.
+                msg: clock,
+                seq: 0,
+            }]),
+            next_seq: 1,
+            floor: Vec::new(),
+        });
+        self.locs.len() - 1
+    }
+
+    fn floor_of(&self, loc: usize, tid: Tid) -> u64 {
+        let l = &self.locs[loc];
+        let coherence = l.floor.get(tid).copied().unwrap_or(0);
+        let visible = l
+            .stores
+            .iter()
+            .filter(|s| s.hb.leq(&self.threads[tid].clock))
+            .map(|s| s.seq)
+            .max()
+            .unwrap_or(0);
+        coherence.max(visible)
+    }
+
+    fn set_floor(&mut self, loc: usize, tid: Tid, seq: u64) {
+        let l = &mut self.locs[loc];
+        if l.floor.len() <= tid {
+            l.floor.resize(tid + 1, 0);
+        }
+        l.floor[tid] = l.floor[tid].max(seq);
+    }
+
+    fn load(&mut self, me: Tid, loc: usize, ord: Ordering) -> (u64, usize, usize) {
+        if is_seq_cst(ord) {
+            let sc = self.sc_clock.clone();
+            self.threads[me].clock.join(&sc);
+        }
+        let floor = self.floor_of(loc, me);
+        let readable: Vec<u64> = self.locs[loc]
+            .stores
+            .iter()
+            .filter(|s| s.seq >= floor)
+            .map(|s| s.seq)
+            .collect();
+        debug_assert!(!readable.is_empty(), "no readable store");
+        let k = self.strategy.choose(readable.len());
+        let chosen_seq = readable[k];
+        let (val, msg) = {
+            let s = self.locs[loc]
+                .stores
+                .iter()
+                .find(|s| s.seq == chosen_seq)
+                .expect("chosen store exists");
+            (s.val, s.msg.clone())
+        };
+        if is_acquire(ord) {
+            self.threads[me].clock.join(&msg);
+        }
+        if is_seq_cst(ord) {
+            let clock = self.threads[me].clock.clone();
+            self.sc_clock.join(&clock);
+        }
+        self.set_floor(loc, me, chosen_seq);
+        (val, k, readable.len())
+    }
+
+    fn store(&mut self, me: Tid, loc: usize, val: u64, ord: Ordering) {
+        self.threads[me].clock.bump(me);
+        if is_seq_cst(ord) {
+            let sc = self.sc_clock.clone();
+            self.threads[me].clock.join(&sc);
+        }
+        let clock = self.threads[me].clock.clone();
+        // Lost-update heuristic: a plain store overwriting a store this
+        // thread has not observed is the load-then-store race shape.
+        if let Some(last) = self.locs[loc].stores.back() {
+            if !last.hb.leq(&clock) {
+                self.lost_update_warnings += 1;
+                self.trace_op(me, format!("WARN lost-update overwrite at a{loc}"));
+            }
+        }
+        let msg = if is_release(ord) {
+            clock.clone()
+        } else {
+            VClock::new()
+        };
+        self.push_store(loc, me, val, clock.clone(), msg);
+        if is_seq_cst(ord) {
+            self.sc_clock.join(&clock);
+        }
+    }
+
+    fn rmw(
+        &mut self,
+        me: Tid,
+        loc: usize,
+        f: &mut dyn FnMut(u64) -> Option<u64>,
+        ord: Ordering,
+        fail_ord: Ordering,
+    ) -> (u64, bool) {
+        self.threads[me].clock.bump(me);
+        if is_seq_cst(ord) {
+            let sc = self.sc_clock.clone();
+            self.threads[me].clock.join(&sc);
+        }
+        // An RMW reads the latest store in modification order (atomicity).
+        let (old, last_msg, last_seq) = {
+            let s = self.locs[loc].stores.back().expect("nonempty history");
+            (s.val, s.msg.clone(), s.seq)
+        };
+        match f(old) {
+            Some(new) => {
+                if is_acquire(ord) {
+                    self.threads[me].clock.join(&last_msg);
+                }
+                let clock = self.threads[me].clock.clone();
+                // Release-sequence continuation: the RMW's message keeps
+                // the previous head's clock, plus ours when releasing.
+                let mut msg = last_msg;
+                if is_release(ord) {
+                    msg.join(&clock);
+                }
+                self.push_store(loc, me, new, clock.clone(), msg);
+                if is_seq_cst(ord) {
+                    self.sc_clock.join(&clock);
+                }
+                (old, true)
+            }
+            None => {
+                // Failed CAS: acts as a load of the latest store.
+                if is_acquire(fail_ord) {
+                    self.threads[me].clock.join(&last_msg);
+                }
+                self.set_floor(loc, me, last_seq);
+                (old, false)
+            }
+        }
+    }
+
+    fn push_store(&mut self, loc: usize, me: Tid, val: u64, hb: VClock, msg: VClock) {
+        let cap = self.opts.store_history;
+        let l = &mut self.locs[loc];
+        let seq = l.next_seq;
+        l.next_seq += 1;
+        l.stores.push_back(StoreElem { val, hb, msg, seq });
+        while l.stores.len() > cap {
+            l.stores.pop_front();
+        }
+        self.set_floor(loc, me, seq);
+    }
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_seq_cst(o: Ordering) -> bool {
+    matches!(o, Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------------
+// The token machine: one OS thread at a time executes model operations.
+// ---------------------------------------------------------------------------
+
+/// Sentinel panic payload: the schedule is being torn down, unwind
+/// silently.
+struct Abort;
+
+pub(crate) struct Ctx {
+    st: OsMutex<St>,
+    cv: OsCondvar,
+}
+
+thread_local! {
+    static ACTIVE: std::cell::RefCell<Option<(Arc<Ctx>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn active() -> (Arc<Ctx>, Tid) {
+    ACTIVE.with(|a| {
+        a.borrow()
+            .clone()
+            .expect("conccheck shim used outside a model run (wrap the code in conccheck::check)")
+    })
+}
+
+fn abort_unwind() -> ! {
+    // Never panic while already unwinding (that aborts the process);
+    // the guard drops that land here during teardown just stop mattering.
+    if std::thread::panicking() {
+        // Unreachable in practice: callers check `panicking()` first.
+        std::process::abort();
+    }
+    std::panic::panic_any(Abort)
+}
+
+impl Ctx {
+    fn lock(&self) -> OsGuard<'_, St> {
+        self.st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Wait for the token. Returns `None` when the schedule is aborting
+    /// and the caller is mid-unwind (tear down silently).
+    fn token(&self, me: Tid) -> Option<OsGuard<'_, St>> {
+        let mut g = self.lock();
+        loop {
+            if g.aborted {
+                drop(g);
+                if std::thread::panicking() {
+                    return None;
+                }
+                abort_unwind();
+            }
+            if g.cur == me {
+                break;
+            }
+            g = self
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        g.steps += 1;
+        if g.steps > g.opts.max_steps {
+            let limit = g.opts.max_steps;
+            g.fail(format!(
+                "step limit {limit} exceeded: livelock or unbounded spin"
+            ));
+            self.cv.notify_all();
+            drop(g);
+            if std::thread::panicking() {
+                return None;
+            }
+            abort_unwind();
+        }
+        Some(g)
+    }
+
+    /// End an operation: pick the next thread and release the token.
+    fn dispatch(&self, mut g: OsGuard<'_, St>, me: Tid) {
+        let _ = g.pick_next(me);
+        self.cv.notify_all();
+    }
+
+    /// Record a failure from a panicking model thread.
+    fn record_panic(&self, tid: Tid, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_string());
+        let mut g = self.lock();
+        g.fail(format!("thread t{tid} panicked: {msg}"));
+        self.cv.notify_all();
+    }
+}
+
+// -- public (crate) operations used by the shims ----------------------------
+
+pub(crate) fn op_alloc_loc(init: u64) -> usize {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return 0 };
+    let id = g.alloc_loc(init, me);
+    ctx.dispatch(g, me);
+    id
+}
+
+pub(crate) fn op_load(loc: usize, ord: Ordering) -> u64 {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return 0 };
+    let (val, k, n) = g.load(me, loc, ord);
+    g.trace_op(me, format!("load a{loc} {ord:?} -> {val} [{k}/{n}]"));
+    ctx.dispatch(g, me);
+    val
+}
+
+pub(crate) fn op_store(loc: usize, val: u64, ord: Ordering) {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return };
+    g.store(me, loc, val, ord);
+    g.trace_op(me, format!("store a{loc} {ord:?} <- {val}"));
+    ctx.dispatch(g, me);
+}
+
+pub(crate) fn op_rmw(loc: usize, f: &mut dyn FnMut(u64) -> u64, ord: Ordering) -> u64 {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return 0 };
+    let (old, _) = g.rmw(me, loc, &mut |v| Some(f(v)), ord, ord);
+    g.trace_op(me, format!("rmw a{loc} {ord:?} read {old}"));
+    ctx.dispatch(g, me);
+    old
+}
+
+pub(crate) fn op_cas(
+    loc: usize,
+    expect: u64,
+    new: u64,
+    ord: Ordering,
+    fail_ord: Ordering,
+) -> Result<u64, u64> {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else {
+        return Err(0);
+    };
+    let (old, swapped) = g.rmw(
+        me,
+        loc,
+        &mut |v| if v == expect { Some(new) } else { None },
+        ord,
+        fail_ord,
+    );
+    g.trace_op(
+        me,
+        format!("cas a{loc} {ord:?} {expect}->{new} read {old} ok={swapped}"),
+    );
+    ctx.dispatch(g, me);
+    if swapped {
+        Ok(old)
+    } else {
+        Err(old)
+    }
+}
+
+pub(crate) fn op_alloc_mutex() -> usize {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return 0 };
+    g.mutexes.push(MutexSt {
+        holder: None,
+        clock: VClock::new(),
+    });
+    let id = g.mutexes.len() - 1;
+    ctx.dispatch(g, me);
+    id
+}
+
+pub(crate) fn op_alloc_condvar() -> usize {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return 0 };
+    g.condvars += 1;
+    let id = g.condvars - 1;
+    ctx.dispatch(g, me);
+    id
+}
+
+pub(crate) fn op_mutex_lock(id: usize) {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return };
+    loop {
+        if g.mutexes[id].holder.is_none() {
+            g.mutexes[id].holder = Some(me);
+            let mclock = g.mutexes[id].clock.clone();
+            g.threads[me].clock.join(&mclock);
+            g.trace_op(me, format!("lock m{id}"));
+            ctx.dispatch(g, me);
+            return;
+        }
+        g.trace_op(me, format!("block m{id}"));
+        g.threads[me].run = Run::BlockedMutex(id);
+        ctx.dispatch(g, me);
+        let Some(back) = ctx.token(me) else { return };
+        g = back;
+    }
+}
+
+fn unlock_inner(g: &mut St, me: Tid, id: usize) {
+    debug_assert_eq!(g.mutexes[id].holder, Some(me), "unlock of non-held mutex");
+    g.threads[me].clock.bump(me);
+    g.mutexes[id].clock = g.threads[me].clock.clone();
+    g.mutexes[id].holder = None;
+    for t in g.threads.iter_mut() {
+        if t.run == Run::BlockedMutex(id) {
+            t.run = Run::Runnable;
+        }
+    }
+}
+
+pub(crate) fn op_mutex_unlock(id: usize) {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return };
+    unlock_inner(&mut g, me, id);
+    g.trace_op(me, format!("unlock m{id}"));
+    ctx.dispatch(g, me);
+}
+
+/// Condvar wait: atomically release the mutex and park; returns whether
+/// the wake models a timeout. Reacquires the mutex before returning.
+pub(crate) fn op_cv_wait(cv: usize, mutex: usize, timed: bool) -> bool {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else {
+        return false;
+    };
+    unlock_inner(&mut g, me, mutex);
+    g.threads[me].run = Run::CvWait {
+        cv,
+        timed,
+        notified: false,
+    };
+    g.trace_op(me, format!("cvwait c{cv} (timed={timed})"));
+    ctx.dispatch(g, me);
+    // Parked until the scheduler resumes us (notification or timeout).
+    let Some(back) = ctx.token(me) else {
+        return false;
+    };
+    let mut g = back;
+    let timed_out = g.threads[me].wake_timed_out;
+    g.trace_op(me, format!("cvwake c{cv} timed_out={timed_out}"));
+    // Reacquire the mutex (may block again).
+    loop {
+        if g.mutexes[mutex].holder.is_none() {
+            g.mutexes[mutex].holder = Some(me);
+            let mclock = g.mutexes[mutex].clock.clone();
+            g.threads[me].clock.join(&mclock);
+            ctx.dispatch(g, me);
+            return timed_out;
+        }
+        g.threads[me].run = Run::BlockedMutex(mutex);
+        ctx.dispatch(g, me);
+        let Some(back) = ctx.token(me) else {
+            return timed_out;
+        };
+        g = back;
+    }
+}
+
+pub(crate) fn op_cv_notify(cv: usize, all: bool) {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return };
+    let mut woken = 0usize;
+    for t in g.threads.iter_mut() {
+        if let Run::CvWait {
+            cv: c, notified, ..
+        } = &mut t.run
+        {
+            if *c == cv && !*notified {
+                *notified = true;
+                woken += 1;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+    g.trace_op(me, format!("notify c{cv} all={all} woke={woken}"));
+    ctx.dispatch(g, me);
+}
+
+pub(crate) fn op_yield() {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return };
+    g.threads[me].yielded = true;
+    g.trace_op(me, "yield".to_string());
+    ctx.dispatch(g, me);
+}
+
+pub(crate) fn op_spawn(f: Box<dyn FnOnce() + Send + 'static>) -> Tid {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return 0 };
+    g.threads[me].clock.bump(me);
+    let clock = g.threads[me].clock.clone();
+    let priority = g.strategy.new_priority();
+    g.threads.push(ThreadSt {
+        run: Run::Runnable,
+        clock,
+        final_clock: VClock::new(),
+        priority,
+        yielded: false,
+        wake_timed_out: false,
+    });
+    let child = g.threads.len() - 1;
+    g.trace_op(me, format!("spawn t{child}"));
+    let ctx2 = Arc::clone(&ctx);
+    let handle = std::thread::Builder::new()
+        .name(format!("conccheck-t{child}"))
+        .spawn(move || {
+            ACTIVE.with(|a| *a.borrow_mut() = Some((Arc::clone(&ctx2), child)));
+            let r = catch_unwind(AssertUnwindSafe(f));
+            match r {
+                Ok(()) => {
+                    // Finishing is itself an op and may unwind on abort.
+                    let _ = catch_unwind(AssertUnwindSafe(|| op_finish(child)));
+                }
+                Err(p) => {
+                    if !p.is::<Abort>() {
+                        ctx2.record_panic(child, p.as_ref());
+                    }
+                }
+            }
+            ACTIVE.with(|a| *a.borrow_mut() = None);
+        })
+        .expect("spawn conccheck model thread");
+    g.os_handles.push(handle);
+    ctx.dispatch(g, me);
+    child
+}
+
+fn op_finish(me: Tid) {
+    let (ctx, _) = active();
+    let Some(mut g) = ctx.token(me) else { return };
+    g.threads[me].clock.bump(me);
+    g.threads[me].final_clock = g.threads[me].clock.clone();
+    g.threads[me].run = Run::Finished;
+    for t in g.threads.iter_mut() {
+        if t.run == Run::BlockedJoin(me) {
+            t.run = Run::Runnable;
+        }
+    }
+    g.trace_op(me, "finish".to_string());
+    ctx.dispatch(g, me);
+}
+
+pub(crate) fn op_join(target: Tid) {
+    let (ctx, me) = active();
+    let Some(mut g) = ctx.token(me) else { return };
+    loop {
+        if g.threads[target].run == Run::Finished {
+            let fc = g.threads[target].final_clock.clone();
+            g.threads[me].clock.join(&fc);
+            g.trace_op(me, format!("join t{target}"));
+            ctx.dispatch(g, me);
+            return;
+        }
+        g.threads[me].run = Run::BlockedJoin(target);
+        g.trace_op(me, format!("blockjoin t{target}"));
+        ctx.dispatch(g, me);
+        let Some(back) = ctx.token(me) else { return };
+        g = back;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration drivers.
+// ---------------------------------------------------------------------------
+
+struct ScheduleOutcome {
+    failure: Option<Failure>,
+    trace: Vec<String>,
+    lost_update_warnings: usize,
+    strategy: Strategy,
+}
+
+fn run_schedule<F: Fn()>(opts: &Options, strategy: Strategy, f: &F) -> ScheduleOutcome {
+    let ctx = Arc::new(Ctx {
+        st: OsMutex::new(St::new(opts.clone(), strategy)),
+        cv: OsCondvar::new(),
+    });
+    ACTIVE.with(|a| *a.borrow_mut() = Some((Arc::clone(&ctx), 0)));
+    let r = catch_unwind(AssertUnwindSafe(f));
+    match r {
+        Ok(()) => {
+            let _ = catch_unwind(AssertUnwindSafe(|| op_finish(0)));
+        }
+        Err(p) => {
+            if !p.is::<Abort>() {
+                ctx.record_panic(0, p.as_ref());
+            }
+        }
+    }
+    // Drain: wait for every model thread to finish or unwind, then join
+    // the OS threads so the next schedule starts from silence.
+    let handles = {
+        let mut g = ctx.lock();
+        while !g.done && !g.aborted {
+            g = ctx
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        std::mem::take(&mut g.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    ACTIVE.with(|a| *a.borrow_mut() = None);
+    let mut g = ctx.lock();
+    ScheduleOutcome {
+        failure: g.failure.take(),
+        trace: std::mem::take(&mut g.trace),
+        lost_update_warnings: g.lost_update_warnings,
+        strategy: std::mem::replace(
+            &mut g.strategy,
+            Strategy::Dfs {
+                path: Vec::new(),
+                cursor: 0,
+            },
+        ),
+    }
+}
+
+/// Explore `seeds` PCT-style schedules of `f`. Stops at the first failure
+/// (its seed replays the identical interleaving).
+pub fn explore_random<F: Fn()>(name: &str, opts: &Options, seeds: &[u64], f: F) -> Report {
+    let mut warnings = 0;
+    for (i, &seed) in seeds.iter().enumerate() {
+        let out = run_schedule(opts, Strategy::pct(seed, opts.preemption_bound), &f);
+        warnings += out.lost_update_warnings;
+        if let Some(mut fl) = out.failure {
+            fl.seed = Some(seed);
+            fl.schedule = i;
+            return Report {
+                name: name.to_string(),
+                schedules: i + 1,
+                failure: Some(fl),
+                truncated: false,
+                lost_update_warnings: warnings,
+            };
+        }
+    }
+    Report {
+        name: name.to_string(),
+        schedules: seeds.len(),
+        failure: None,
+        truncated: false,
+        lost_update_warnings: warnings,
+    }
+}
+
+/// Run exactly one seeded schedule and return its full operation trace
+/// (whether or not it failed) — the replay primitive.
+pub fn trace_of<F: Fn()>(opts: &Options, seed: u64, f: F) -> Vec<String> {
+    run_schedule(opts, Strategy::pct(seed, opts.preemption_bound), &f).trace
+}
+
+/// Exhaustively explore every interleaving of `f` by DFS over scheduling
+/// and load choices, up to `opts.max_schedules`.
+pub fn explore_dfs<F: Fn()>(name: &str, opts: &Options, f: F) -> Report {
+    let mut path: Vec<Choice> = Vec::new();
+    let mut schedules = 0usize;
+    let mut warnings = 0usize;
+    let mut truncated = false;
+    loop {
+        let out = run_schedule(opts, Strategy::Dfs { path, cursor: 0 }, &f);
+        schedules += 1;
+        warnings += out.lost_update_warnings;
+        let Strategy::Dfs { path: p, .. } = out.strategy else {
+            unreachable!("strategy kind is preserved across a schedule");
+        };
+        path = p;
+        if let Some(mut fl) = out.failure {
+            fl.schedule = schedules - 1;
+            return Report {
+                name: name.to_string(),
+                schedules,
+                failure: Some(fl),
+                truncated: false,
+                lost_update_warnings: warnings,
+            };
+        }
+        // Backtrack to the deepest decision with unexplored options.
+        loop {
+            match path.pop() {
+                None => {
+                    return Report {
+                        name: name.to_string(),
+                        schedules,
+                        failure: None,
+                        truncated,
+                        lost_update_warnings: warnings,
+                    };
+                }
+                Some(c) if c.chosen + 1 < c.options => {
+                    path.push(Choice {
+                        chosen: c.chosen + 1,
+                        options: c.options,
+                    });
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if schedules >= opts.max_schedules {
+            truncated = true;
+            return Report {
+                name: name.to_string(),
+                schedules,
+                failure: None,
+                truncated,
+                lost_update_warnings: warnings,
+            };
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! # conccheck — deterministic concurrency model checking for this repo
+//!
+//! A dependency-free, loom-style checker. Code under test imports
+//! `conccheck::sync::…` / `conccheck::thread` instead of `std::sync` /
+//! `std::thread`:
+//!
+//! - **Normal builds**: the modules are plain re-exports of `std` — zero
+//!   cost, zero behavior change, nothing to audit in production paths.
+//! - **`RUSTFLAGS="--cfg conccheck"`**: the same names resolve to
+//!   instrumented shims that route every atomic load/store/RMW, lock,
+//!   condvar, spawn, join, and yield through a deterministic scheduler
+//!   ([`engine`]) exploring adversarial interleavings — seed-driven
+//!   randomized priority preemption (PCT-style) or exhaustive DFS — under
+//!   an axiomatic weak-memory model (per-location modification order,
+//!   vector-clock happens-before, release/acquire message passing).
+//!
+//! A failing model reports the seed and the full operation trace;
+//! re-running the same seed replays the identical interleaving.
+//!
+//! ```no_run
+//! use conccheck::sync::atomic::{AtomicU64, Ordering};
+//! use conccheck::sync::Arc;
+//!
+//! let report = conccheck::check("counter", &conccheck::Opts::from_env(64), || {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let c2 = Arc::clone(&c);
+//!     let t = conccheck::thread::spawn(move || {
+//!         c2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     c.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(c.load(Ordering::SeqCst), 2);
+//! });
+//! report.assert_pass();
+//! ```
+
+pub mod clock;
+pub mod engine;
+pub mod shim;
+
+pub use engine::{Failure, Options, Report};
+
+/// True when this build routes the shims through the model checker.
+pub fn enabled() -> bool {
+    cfg!(conccheck)
+}
+
+/// Shim facade: `std::sync` names, engine-instrumented under
+/// `--cfg conccheck`.
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, Weak};
+
+    #[cfg(not(conccheck))]
+    pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+    #[cfg(conccheck)]
+    pub use crate::shim::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+    /// `std::sync::atomic` names, instrumented under `--cfg conccheck`.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        #[cfg(not(conccheck))]
+        pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+
+        #[cfg(conccheck)]
+        pub use crate::shim::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+    }
+}
+
+/// `std::thread` facade (spawn / JoinHandle / yield_now only).
+pub mod thread {
+    #[cfg(not(conccheck))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(conccheck)]
+    pub use crate::shim::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// `std::hint` facade: `spin_loop` becomes a yield-class schedule point
+/// under the checker.
+pub mod hint {
+    #[cfg(not(conccheck))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(conccheck)]
+    pub use crate::shim::hint::spin_loop;
+}
+
+/// Exploration settings for the top-level [`check`] / [`find_bug`] entry
+/// points.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Seeds to sweep in randomized exploration (`CONCCHECK_SEEDS`
+    /// overrides).
+    pub seeds: u64,
+    /// Engine knobs (step limit, preemption bound, DFS schedule cap).
+    pub engine: Options,
+}
+
+impl Opts {
+    /// `default_seeds` seeds unless the `CONCCHECK_SEEDS` environment
+    /// variable overrides the count.
+    pub fn from_env(default_seeds: u64) -> Self {
+        let seeds = std::env::var("CONCCHECK_SEEDS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default_seeds);
+        Opts {
+            seeds,
+            engine: Options::default(),
+        }
+    }
+}
+
+/// Explore `opts.seeds` randomized schedules of `f` under the model
+/// checker. In normal builds (shims = std) the closure still runs once per
+/// seed as a plain stress iteration, so models stay compiled and
+/// assert-checked in tier-1 CI; only `--cfg conccheck` builds explore
+/// interleavings.
+pub fn check<F: Fn()>(name: &str, opts: &Opts, f: F) -> Report {
+    if cfg!(conccheck) {
+        let seeds: Vec<u64> = (0..opts.seeds).collect();
+        engine::explore_random(name, &opts.engine, &seeds, f)
+    } else {
+        for _ in 0..opts.seeds {
+            f();
+        }
+        Report {
+            name: name.to_string(),
+            schedules: opts.seeds as usize,
+            failure: None,
+            truncated: false,
+            lost_update_warnings: 0,
+        }
+    }
+}
+
+/// Exhaustive DFS over every interleaving of a *small* model (bounded by
+/// `opts.engine.max_schedules`). Normal builds run the closure once.
+pub fn check_dfs<F: Fn()>(name: &str, opts: &Opts, f: F) -> Report {
+    if cfg!(conccheck) {
+        engine::explore_dfs(name, &opts.engine, f)
+    } else {
+        f();
+        Report {
+            name: name.to_string(),
+            schedules: 1,
+            failure: None,
+            truncated: false,
+            lost_update_warnings: 0,
+        }
+    }
+}
+
+/// Negative-testing helper: explore `f` expecting a failure, returning the
+/// counterexample. Used to prove an ordering is *necessary* (weaken it,
+/// assert the model breaks). Normal builds return `None` without running —
+/// a weakened protocol on real hardware may or may not misbehave, so there
+/// is nothing deterministic to assert.
+pub fn find_bug<F: Fn()>(name: &str, opts: &Opts, f: F) -> Option<Failure> {
+    if cfg!(conccheck) {
+        let seeds: Vec<u64> = (0..opts.seeds).collect();
+        engine::explore_random(name, &opts.engine, &seeds, f).failure
+    } else {
+        let _ = (name, opts, f);
+        None
+    }
+}
+
+/// Replay one seeded schedule and return its operation trace. Two calls
+/// with identical arguments return identical traces — the determinism
+/// contract the CI job asserts. Normal builds return an empty trace.
+pub fn replay<F: Fn()>(opts: &Opts, seed: u64, f: F) -> Vec<String> {
+    if cfg!(conccheck) {
+        engine::trace_of(&opts.engine, seed, f)
+    } else {
+        let _ = (opts, seed, f);
+        Vec::new()
+    }
+}

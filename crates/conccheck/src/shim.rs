@@ -1,0 +1,385 @@
+//! Instrumented drop-in replacements for the `std::sync` / `std::thread`
+//! surface the serve stack uses. Every operation is a schedule point of
+//! [`crate::engine`]. These types are only *aliased* as `conccheck::sync`
+//! under `--cfg conccheck`, but they are always compiled and usable
+//! directly (the engine's own tests drive them in normal builds).
+//!
+//! Values are modeled as `u64` cells; `AtomicPtr` round-trips pointers
+//! through `usize`. `Arc` is deliberately **not** shimmed: its refcount is
+//! what several models are *about*, so models represent refcounts as
+//! explicit shim atomics instead.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+use std::sync::LockResult;
+use std::time::Duration;
+
+use crate::engine;
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Instrumented integer atomic (engine-modeled `u64` cell).
+        #[derive(Debug)]
+        pub struct $name {
+            loc: usize,
+        }
+
+        impl $name {
+            /// Registers the location with the engine (a schedule point,
+            /// so construction order is deterministic).
+            pub fn new(v: $ty) -> Self {
+                $name {
+                    loc: engine::op_alloc_loc(v as u64),
+                }
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                engine::op_load(self.loc, ord) as $ty
+            }
+
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                engine::op_store(self.loc, v as u64, ord)
+            }
+
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                engine::op_rmw(self.loc, &mut |_| v as u64, ord) as $ty
+            }
+
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                engine::op_rmw(self.loc, &mut |x| (x as $ty).wrapping_add(v) as u64, ord) as $ty
+            }
+
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                engine::op_rmw(self.loc, &mut |x| (x as $ty).wrapping_sub(v) as u64, ord) as $ty
+            }
+
+            pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                engine::op_rmw(self.loc, &mut |x| (x as $ty | v) as u64, ord) as $ty
+            }
+
+            pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                engine::op_rmw(self.loc, &mut |x| (x as $ty & v) as u64, ord) as $ty
+            }
+
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                engine::op_rmw(self.loc, &mut |x| (x as $ty).max(v) as u64, ord) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expect: $ty,
+                new: $ty,
+                ok: Ordering,
+                fail: Ordering,
+            ) -> Result<$ty, $ty> {
+                engine::op_cas(self.loc, expect as u64, new as u64, ok, fail)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                expect: $ty,
+                new: $ty,
+                ok: Ordering,
+                fail: Ordering,
+            ) -> Result<$ty, $ty> {
+                // The model never fails spuriously; weak == strong here.
+                self.compare_exchange(expect, new, ok, fail)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+int_atomic!(AtomicU32, u32);
+
+/// Instrumented boolean atomic.
+#[derive(Debug)]
+pub struct AtomicBool {
+    loc: usize,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            loc: engine::op_alloc_loc(v as u64),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        engine::op_load(self.loc, ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        engine::op_store(self.loc, v as u64, ord)
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        engine::op_rmw(self.loc, &mut |_| v as u64, ord) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expect: bool,
+        new: bool,
+        ok: Ordering,
+        fail: Ordering,
+    ) -> Result<bool, bool> {
+        engine::op_cas(self.loc, expect as u64, new as u64, ok, fail)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+/// Instrumented pointer atomic: the pointer value lives in an engine cell
+/// as a `usize`.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    loc: usize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: mirrors `std::sync::atomic::AtomicPtr`, which is Send + Sync for
+// every `T`: the type only stores/loads the raw address, never dereferences
+// it, and all access is serialized through the engine.
+unsafe impl<T> Send for AtomicPtr<T> {}
+// SAFETY: see the Send impl above — address-only, engine-serialized.
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(p: *mut T) -> Self {
+        AtomicPtr {
+            loc: engine::op_alloc_loc(p as usize as u64),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        engine::op_load(self.loc, ord) as usize as *mut T
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        engine::op_store(self.loc, p as usize as u64, ord)
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        engine::op_rmw(self.loc, &mut |_| p as usize as u64, ord) as usize as *mut T
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expect: *mut T,
+        new: *mut T,
+        ok: Ordering,
+        fail: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        engine::op_cas(
+            self.loc,
+            expect as usize as u64,
+            new as usize as u64,
+            ok,
+            fail,
+        )
+        .map(|v| v as usize as *mut T)
+        .map_err(|v| v as usize as *mut T)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------------
+
+/// Instrumented mutex: lock/unlock are engine schedule points; blocking and
+/// happens-before transfer are modeled, data lives in an `UnsafeCell`.
+/// Never poisons (the engine aborts the whole schedule on a panic instead),
+/// so `lock().unwrap()` and poison-recovering callers behave identically.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: same bound as std's Mutex — the engine serializes all access to
+// the cell between lock and unlock, so &Mutex<T> can cross threads whenever
+// T itself can be sent.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: see the Send impl above — exclusive access is guaranteed by the
+// modeled lock protocol.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: engine::op_alloc_mutex(),
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        engine::op_mutex_lock(self.id);
+        Ok(MutexGuard { m: self })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.cell.into_inner())
+    }
+}
+
+/// Guard for the instrumented [`Mutex`]; unlocks (an engine op) on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    m: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the engine grants this thread exclusive ownership of the
+        // mutex between op_mutex_lock and op_mutex_unlock, and the guard's
+        // lifetime is contained in that window.
+        unsafe { &*self.m.cell.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in Deref — exclusive, engine-serialized access.
+        unsafe { &mut *self.m.cell.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        engine::op_mutex_unlock(self.m.id);
+    }
+}
+
+/// Matches `std::sync::WaitTimeoutResult` (which cannot be constructed
+/// outside std, hence this twin).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Instrumented condvar. `wait_timeout` ignores the duration: the
+/// scheduler decides nondeterministically whether the wake is a timeout or
+/// a notification, which explores both outcomes.
+#[derive(Debug)]
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar {
+            id: engine::op_alloc_condvar(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let m = guard.m;
+        // The engine releases and reacquires the mutex inside op_cv_wait;
+        // forget the guard so its Drop does not double-unlock.
+        std::mem::forget(guard);
+        engine::op_cv_wait(self.id, m.id, false);
+        Ok(MutexGuard { m })
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let m = guard.m;
+        std::mem::forget(guard);
+        let timed_out = engine::op_cv_wait(self.id, m.id, true);
+        Ok((MutexGuard { m }, WaitTimeoutResult(timed_out)))
+    }
+
+    pub fn notify_one(&self) {
+        engine::op_cv_notify(self.id, false);
+    }
+
+    pub fn notify_all(&self) {
+        engine::op_cv_notify(self.id, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Instrumented `std::thread` twin: spawn registers a model thread, join
+/// is a blocking schedule point with happens-before transfer.
+pub mod thread {
+    use std::sync::{Arc, Mutex as OsMutex};
+
+    use crate::engine;
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: Arc<OsMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Block (as a model operation) until the thread finishes; the
+        /// joiner inherits the target's full happens-before history.
+        pub fn join(self) -> std::thread::Result<T> {
+            engine::op_join(self.tid);
+            let v = self
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            match v {
+                Some(v) => Ok(v),
+                // Only reachable during schedule teardown; surface it as
+                // the panic it models.
+                None => Err(Box::new("conccheck model thread produced no value")),
+            }
+        }
+    }
+
+    /// Spawn a model thread. The closure runs on a real OS thread but only
+    /// advances when the model scheduler hands it the token.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let slot = Arc::new(OsMutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let tid = engine::op_spawn(Box::new(move || {
+            let v = f();
+            *slot2
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+        }));
+        JoinHandle { tid, slot }
+    }
+
+    /// Scheduling hint: deprioritizes the caller until every other
+    /// runnable thread has run or yielded (makes spin loops explorable
+    /// without livelock).
+    pub fn yield_now() {
+        engine::op_yield();
+    }
+}
+
+/// `std::hint` twin: a spin hint is a yield-class schedule point, which is
+/// what lets the scheduler escape modeled spin-wait loops.
+pub mod hint {
+    pub fn spin_loop() {
+        super::thread::yield_now();
+    }
+}

@@ -1,0 +1,345 @@
+//! Engine self-tests: litmus shapes with known verdicts.
+//!
+//! These drive the *instrumented* shim types directly (not through the
+//! cfg-switched facade), so the scheduler and memory model are exercised
+//! in every build mode — tier-1 CI checks the checker.
+
+use std::sync::Arc;
+
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+
+use conccheck::engine::{self, Options};
+use conccheck::shim::{thread, AtomicU64, Mutex};
+
+fn small() -> Options {
+    Options {
+        max_schedules: 5_000,
+        ..Options::default()
+    }
+}
+
+/// Store buffering (Dekker shape): with SeqCst, at least one side must see
+/// the other's store. DFS proves it over every interleaving.
+#[test]
+fn store_buffering_seq_cst_passes() {
+    let report = engine::explore_dfs("sb-seqcst", &small(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            x1.store(1, SeqCst);
+            y1.load(SeqCst)
+        });
+        let t2 = thread::spawn(move || {
+            y2.store(1, SeqCst);
+            x2.load(SeqCst)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(r1 == 1 || r2 == 1, "both threads read 0: store buffering");
+    });
+    assert!(!report.truncated, "DFS should exhaust this model");
+    report.assert_pass();
+}
+
+/// The same shape with Relaxed ordering must exhibit the r1 == r2 == 0
+/// outcome — the memory model simulates store buffering.
+#[test]
+fn store_buffering_relaxed_fails() {
+    let report = engine::explore_dfs("sb-relaxed", &small(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            x1.store(1, Relaxed);
+            y1.load(Relaxed)
+        });
+        let t2 = thread::spawn(move || {
+            y2.store(1, Relaxed);
+            x2.load(Relaxed)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(r1 == 1 || r2 == 1, "both threads read 0: store buffering");
+    });
+    let failure = report.failure.expect("relaxed store buffering must fail");
+    assert!(failure.message.contains("store buffering"), "{failure}");
+}
+
+/// Message passing: data written before a Release flag store is visible
+/// after an Acquire flag load. DFS proves it.
+#[test]
+fn message_passing_release_acquire_passes() {
+    let report = engine::explore_dfs("mp-relacq", &small(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d1.store(42, Relaxed);
+            f1.store(1, Release);
+        });
+        if flag.load(Acquire) == 1 {
+            assert_eq!(data.load(Relaxed), 42, "stale data after flag");
+        }
+        t.join().unwrap();
+    });
+    assert!(!report.truncated);
+    report.assert_pass();
+}
+
+/// With a Relaxed flag there is no synchronizes-with edge: the reader can
+/// see the flag yet miss the data.
+#[test]
+fn message_passing_relaxed_fails() {
+    let report = engine::explore_dfs("mp-relaxed", &small(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d1.store(42, Relaxed);
+            f1.store(1, Relaxed);
+        });
+        if flag.load(Relaxed) == 1 {
+            assert_eq!(data.load(Relaxed), 42, "stale data after flag");
+        }
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("relaxed message passing must fail");
+    assert!(failure.message.contains("stale data"), "{failure}");
+}
+
+/// Load-then-store "increment" loses updates even at SeqCst; DFS finds the
+/// interleaving where both threads read 0.
+#[test]
+fn load_then_store_increment_fails() {
+    let report = engine::explore_dfs("lost-update", &small(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c1 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            let v = c1.load(SeqCst);
+            c1.store(v + 1, SeqCst);
+        });
+        let v = c.load(SeqCst);
+        c.store(v + 1, SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(SeqCst), 2, "lost update");
+    });
+    let failure = report.failure.expect("load-then-store must lose an update");
+    assert!(failure.message.contains("lost update"), "{failure}");
+}
+
+/// The same increment through fetch_add is atomic: DFS proves no
+/// interleaving loses an update.
+#[test]
+fn fetch_add_increment_passes() {
+    let report = engine::explore_dfs("rmw-increment", &small(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c1 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c1.fetch_add(1, SeqCst);
+        });
+        c.fetch_add(1, SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(SeqCst), 2);
+    });
+    assert!(!report.truncated);
+    report.assert_pass();
+}
+
+/// Relaxed load-then-store races additionally raise the engine's
+/// lost-update warning (a plain store overwrote a store the writer never
+/// observed).
+#[test]
+fn lost_update_warning_fires_on_relaxed_race() {
+    let report = engine::explore_dfs("lost-update-warning", &small(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c1 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            let v = c1.load(Relaxed);
+            c1.store(v + 1, Relaxed);
+        });
+        let v = c.load(Relaxed);
+        c.store(v + 1, Relaxed);
+        t.join().unwrap();
+        // No assertion on the count: the warning channel is what we test.
+    });
+    report.assert_pass();
+    assert!(
+        report.lost_update_warnings > 0,
+        "expected lost-update warnings across {} schedules",
+        report.schedules
+    );
+}
+
+/// Classic AB-BA lock inversion: the checker reports a deadlock instead of
+/// hanging.
+#[test]
+fn abba_deadlock_detected() {
+    let opts = small();
+    let report = engine::explore_random("abba", &opts, &(0..64).collect::<Vec<_>>(), || {
+        let a = Arc::new(Mutex::new(0u64));
+        let b = Arc::new(Mutex::new(0u64));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let ga = a1.lock().unwrap();
+            let mut gb = b1.lock().unwrap();
+            *gb += *ga;
+        });
+        {
+            let gb = b.lock().unwrap();
+            let mut ga = a.lock().unwrap();
+            *ga += *gb;
+        }
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("AB-BA inversion must deadlock");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+    assert!(
+        failure.seed.is_some(),
+        "random exploration reports the seed"
+    );
+}
+
+/// Mutexes serialize and transfer happens-before: a plain (non-atomic,
+/// mutex-guarded) counter never loses updates.
+#[test]
+fn mutex_counter_passes() {
+    let report = engine::explore_dfs("mutex-counter", &small(), || {
+        let c = Arc::new(Mutex::new(0u64));
+        let c1 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            *c1.lock().unwrap() += 1;
+        });
+        *c.lock().unwrap() += 1;
+        t.join().unwrap();
+        assert_eq!(*c.lock().unwrap(), 2);
+    });
+    assert!(!report.truncated);
+    report.assert_pass();
+}
+
+/// A timed condvar wait must not deadlock when the notify never comes: the
+/// scheduler models the timeout firing.
+#[test]
+fn condvar_wait_timeout_escapes_missing_notify() {
+    use conccheck::shim::Condvar;
+    let report =
+        engine::explore_random("cv-timeout", &small(), &(0..64).collect::<Vec<_>>(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p1 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*p1;
+                let g = lock.lock().unwrap();
+                // Nobody notifies; only the modeled timeout can wake us.
+                let (_g, res) = cv
+                    .wait_timeout(g, std::time::Duration::from_millis(1))
+                    .unwrap();
+                assert!(res.timed_out());
+            });
+            t.join().unwrap();
+        });
+    report.assert_pass();
+}
+
+/// Condvar notify wakes a waiter and the woken side sees the flag set
+/// under the mutex.
+#[test]
+fn condvar_notify_handshake_passes() {
+    use conccheck::shim::Condvar;
+    let report = engine::explore_random(
+        "cv-handshake",
+        &small(),
+        &(0..64).collect::<Vec<_>>(),
+        || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p1 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*p1;
+                let mut g = lock.lock().unwrap();
+                while !*g {
+                    let (back, _res) = cv
+                        .wait_timeout(g, std::time::Duration::from_millis(1))
+                        .unwrap();
+                    g = back;
+                }
+                assert!(*g);
+            });
+            {
+                let (lock, cv) = &*pair;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            }
+            t.join().unwrap();
+        },
+    );
+    report.assert_pass();
+}
+
+/// Determinism contract: the same seed replays the identical trace, and
+/// different seeds actually explore different interleavings.
+#[test]
+fn same_seed_replays_identical_trace() {
+    let opts = Options::default();
+    let model = || {
+        let x = Arc::new(AtomicU64::new(0));
+        let x1 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x1.fetch_add(1, SeqCst);
+            x1.fetch_add(1, SeqCst);
+        });
+        x.fetch_add(10, SeqCst);
+        t.join().unwrap();
+        assert_eq!(x.load(SeqCst), 12);
+    };
+    let mut distinct = std::collections::HashSet::new();
+    for seed in 0..16u64 {
+        let a = engine::trace_of(&opts, seed, model);
+        let b = engine::trace_of(&opts, seed, model);
+        assert_eq!(a, b, "seed {seed} did not replay deterministically");
+        assert!(!a.is_empty(), "trace must record operations");
+        distinct.insert(a);
+    }
+    assert!(
+        distinct.len() > 1,
+        "16 seeds explored only one interleaving"
+    );
+}
+
+/// Spin loops written against the shims (yield/spin_loop hints) terminate
+/// under the scheduler's yield fairness instead of livelocking.
+#[test]
+fn spin_wait_with_yield_terminates() {
+    let report =
+        engine::explore_random("spin-wait", &small(), &(0..64).collect::<Vec<_>>(), || {
+            let flag = Arc::new(AtomicU64::new(0));
+            let f1 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                f1.store(1, Release);
+            });
+            while flag.load(Acquire) == 0 {
+                thread::yield_now();
+            }
+            t.join().unwrap();
+        });
+    report.assert_pass();
+}
+
+/// The step limit converts genuine livelock (spinning on a flag nobody
+/// will ever set) into a reported failure rather than a hang.
+#[test]
+fn unbounded_spin_reports_step_limit() {
+    let opts = Options {
+        max_steps: 500,
+        ..Options::default()
+    };
+    let report = engine::explore_random("livelock", &opts, &[0], || {
+        let flag = AtomicU64::new(0);
+        while flag.load(SeqCst) == 0 {
+            thread::yield_now();
+        }
+    });
+    let failure = report.failure.expect("unbounded spin must trip step limit");
+    assert!(failure.message.contains("step limit"), "{failure}");
+}

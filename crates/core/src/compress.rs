@@ -99,7 +99,11 @@ mod tests {
         b.build().unwrap()
     }
 
+    // The four tests below each build a 200-phrase index (twice, for the
+    // codec-independence one) to make the ratio assertions meaningful;
+    // they measure space, not memory safety, so skip them under Miri.
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn compressed_nodes_shrink() {
         let report = build(false, DirectoryKind::HashTable).compression_report();
         assert!(report.node_ratio() > 1.2, "ratio {}", report.node_ratio());
@@ -107,6 +111,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn report_is_codec_independent() {
         // The report re-encodes, so building compressed or plain gives the
         // same node numbers.
@@ -117,6 +122,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn succinct_directory_beats_hash_table() {
         let report = build(false, DirectoryKind::Succinct).compression_report();
         assert!(
@@ -127,6 +133,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn succinct_space_accessor() {
         assert!(build(false, DirectoryKind::Succinct)
             .succinct_space()

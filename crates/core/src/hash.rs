@@ -117,6 +117,8 @@ mod tests {
     }
 
     #[test]
+    // Statistical sweep (4950 hashes); says nothing about memory safety.
+    #[cfg_attr(miri, ignore)]
     fn wordhash_distinguishes_sets() {
         let mut seen = HashSet::new();
         // All 2-subsets of 100 words: no collisions expected at this scale.
@@ -135,6 +137,8 @@ mod tests {
     }
 
     #[test]
+    // Statistical sweep (10k hashes); says nothing about memory safety.
+    #[cfg_attr(miri, ignore)]
     fn wordhash_low_bits_are_distributed() {
         // The directory uses s-bit suffixes; check bucket balance for s=8.
         let mut buckets = [0u32; 256];

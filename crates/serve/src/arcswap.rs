@@ -41,8 +41,15 @@ pub struct ArcSwap<T> {
     readers: AtomicUsize,
 }
 
-// The cell owns an Arc<T> and hands out clones across threads.
+// SAFETY: the cell owns one strong Arc<T> reference (held as a raw
+// pointer) and hands out independent clones; moving the cell moves only
+// that owned reference, which is safe exactly when Arc<T> itself is
+// sendable, i.e. T: Send + Sync.
 unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+// SAFETY: shared access is the protocol itself — readers and the writer
+// coordinate through the two atomics (model-checked in
+// tests/conccheck_models.rs); the T behind the pointer is only ever
+// shared, never handed out mutably.
 unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
 
 impl<T> ArcSwap<T> {
@@ -58,13 +65,23 @@ impl<T> ArcSwap<T> {
     /// value. Wait-free; never blocks on or observes a writer mid-publish
     /// (it sees either the old or the new snapshot, fully formed).
     pub fn load(&self) -> Arc<T> {
+        // ORDER: SeqCst — the announce (here) vs. the writer's swap-then-
+        // check is a store-buffering (Dekker) shape: both sides must agree
+        // on one total order or the writer can miss an announced reader and
+        // free the snapshot under it. conccheck proves the acquire/release
+        // weakening admits exactly that use-after-free
+        // (tests/conccheck_models.rs::arcswap_weakened_fails_under_checker).
         self.readers.fetch_add(1, SeqCst);
+        // ORDER: SeqCst — must be ordered after the announce above in the
+        // same total order; see the module docs' correctness argument.
         let ptr = self.ptr.load(SeqCst);
         // SAFETY: `ptr` came from Arc::into_raw and its strong count cannot
         // reach zero while we are announced in `readers`: the writer only
         // drops the cell's reference after the swap AND after observing
         // readers == 0, and our increment happened before we read `ptr`.
         unsafe { Arc::increment_strong_count(ptr) };
+        // ORDER: SeqCst — the retire must not sink above the securing
+        // increment; the writer treats readers == 0 as "all loads secured".
         self.readers.fetch_sub(1, SeqCst);
         // SAFETY: we own the strong count secured just above.
         unsafe { Arc::from_raw(ptr) }
@@ -76,11 +93,16 @@ impl<T> ArcSwap<T> {
     /// the swap have secured their references — a window of a few
     /// instructions per reader, not the lifetime of their snapshot use.
     pub fn store(&self, new: Arc<T>) -> Arc<T> {
+        // ORDER: SeqCst — writer half of the Dekker shape: the swap must
+        // precede the readers check below in the single total order (see
+        // load() and the conccheck model).
         let old = self.ptr.swap(Arc::into_raw(new) as *mut T, SeqCst);
         // Wait out readers that may have observed `old` but not yet secured
         // their strong count. New readers see the new pointer, so this
         // terminates as soon as the (tiny) in-flight window drains.
         let mut spins = 0u32;
+        // ORDER: SeqCst — pairs with the swap above and the reader's
+        // announce/retire; any weakening lets this read a stale zero.
         while self.readers.load(SeqCst) != 0 {
             spins += 1;
             if spins.is_multiple_of(64) {
@@ -100,6 +122,8 @@ impl<T> Drop for ArcSwap<T> {
     fn drop(&mut self) {
         // SAFETY: exclusive access (`&mut self`); release the cell's
         // strong reference.
+        // ORDER: SeqCst — uniform with the rest of the cell; with `&mut
+        // self` there is no concurrency left to order.
         unsafe { drop(Arc::from_raw(self.ptr.load(SeqCst))) };
     }
 }

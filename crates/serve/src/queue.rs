@@ -10,6 +10,8 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use crate::poison;
+
 /// Why a non-blocking push was refused. The rejected item is handed back.
 #[derive(Debug)]
 pub enum PushError<T> {
@@ -58,7 +60,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueue without blocking; a full or closed queue refuses the item.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = poison::lock(&self.state);
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -75,18 +77,15 @@ impl<T> BoundedQueue<T> {
     /// `None`) for the first one.
     pub fn pop_batch(&self, max: usize, timeout: Option<Duration>) -> PopResult<T> {
         let max = max.max(1);
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = poison::lock(&self.state);
         while state.items.is_empty() {
             if state.closed {
                 return PopResult::Closed;
             }
             match timeout {
-                None => state = self.not_empty.wait(state).expect("queue lock poisoned"),
+                None => state = poison::wait(&self.not_empty, state),
                 Some(t) => {
-                    let (s, res) = self
-                        .not_empty
-                        .wait_timeout(state, t)
-                        .expect("queue lock poisoned");
+                    let (s, res) = poison::wait_timeout(&self.not_empty, state, t);
                     state = s;
                     if res.timed_out() && state.items.is_empty() {
                         return if state.closed {
@@ -105,7 +104,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued (a racy snapshot, for backpressure hints).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        poison::lock(&self.state).items.len()
     }
 
     /// True when nothing is queued.
@@ -116,7 +115,7 @@ impl<T> BoundedQueue<T> {
     /// Close the queue: future pushes fail, consumers drain what remains
     /// and then observe [`PopResult::Closed`].
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = poison::lock(&self.state);
         state.closed = true;
         drop(state);
         self.not_empty.notify_all();

@@ -28,6 +28,7 @@ use broadmatch_telemetry::{
 };
 
 use crate::arcswap::ArcSwap;
+use crate::poison;
 use crate::queue::{BoundedQueue, PopResult, PushError};
 use crate::shard::ShardedIndex;
 use crate::update::{self, StopSignal, UpdateConfig, UpdateOp, UpdateState};
@@ -167,7 +168,7 @@ impl Gather {
     }
 
     fn complete(&self, shard: usize, batch: ProbeBatch) {
-        let mut slots = self.slots.lock().expect("gather lock poisoned");
+        let mut slots = poison::lock(&self.slots);
         slots.batches[shard] = Some(batch);
         slots.remaining -= 1;
         if slots.remaining == 0 {
@@ -179,19 +180,23 @@ impl Gather {
     /// Mark the query abandoned (admission failure mid-scatter): workers
     /// skip execution for already-enqueued siblings.
     fn cancel(&self) {
+        // ORDER: SeqCst — the flag races scatter-side enqueues; the strict
+        // order is cheap (cancellation is the cold path) and keeps the
+        // cancel/complete reasoning one total order, as in arcswap.rs.
         self.cancelled.store(true, SeqCst);
     }
 
     fn is_cancelled(&self) -> bool {
+        // ORDER: SeqCst — pairs with cancel(); see above.
         self.cancelled.load(SeqCst)
     }
 
     /// Block until every dispatched shard has reported, then hand back the
     /// batches in shard order (deterministic gather).
     fn wait(&self) -> Vec<ProbeBatch> {
-        let mut slots = self.slots.lock().expect("gather lock poisoned");
+        let mut slots = poison::lock(&self.slots);
         while slots.remaining > 0 {
-            slots = self.done.wait(slots).expect("gather lock poisoned");
+            slots = poison::wait(&self.done, slots);
         }
         slots.batches.iter_mut().filter_map(Option::take).collect()
     }
@@ -374,6 +379,8 @@ impl ServeRuntime {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{worker_id}"))
                     .spawn(move || worker_loop(&inner, worker_id, n_shards, n_workers, batch_size))
+                    // lint: allow(panic) — failing to start the worker pool
+                    // is a fatal startup error, not a serving-time state.
                     .expect("spawn worker")
             })
             .collect();
@@ -547,11 +554,14 @@ impl ServeRuntime {
     /// Returns the new version number.
     pub fn publish(&self, index: Arc<BroadMatchIndex>) -> u64 {
         let t0 = Instant::now();
-        let mut st = self.inner.update.lock().expect("update lock poisoned");
+        let mut st = poison::lock(&self.inner.update);
         st.log.clear();
         st.base_epoch += 1;
         let overlay = DeltaOverlay::for_base(&index);
         self.inner.handles.overlay.set_overlay_state(&overlay);
+        // ORDER: SeqCst — version bump and snapshot store form the publish
+        // point; one total order across publish/read is the model-checked
+        // configuration (serve/tests/conccheck_models.rs, republish model).
         let version = self.inner.version.fetch_add(1, SeqCst) + 1;
         self.inner.snapshot.store(Arc::new(Generation {
             sharded: ShardedIndex::new(index, self.config.n_shards),
@@ -560,11 +570,7 @@ impl ServeRuntime {
             base_epoch: st.base_epoch,
         }));
         drop(st);
-        *self
-            .inner
-            .published_at
-            .lock()
-            .expect("publish lock poisoned") = Instant::now();
+        *poison::lock(&self.inner.published_at) = Instant::now();
         self.inner.handles.snapshot_version.set(version as f64);
         self.inner
             .handles
@@ -581,7 +587,7 @@ impl ServeRuntime {
     /// [`BuildError::EmptyPhrase`] / [`BuildError::PhraseTooLong`] when the
     /// phrase fails the same validation the offline builder applies.
     pub fn insert(&self, phrase: &str, info: AdInfo) -> Result<AdId, BuildError> {
-        let mut st = self.inner.update.lock().expect("update lock poisoned");
+        let mut st = poison::lock(&self.inner.update);
         let snapshot = self.inner.snapshot.load();
         let mut overlay = (*snapshot.overlay).clone();
         let id = overlay.insert(phrase, info)?;
@@ -599,7 +605,7 @@ impl ServeRuntime {
     /// are tombstoned (hidden from queries, bytes reclaimed at the next
     /// compaction). Returns how many ads were removed.
     pub fn remove(&self, phrase: &str, listing_id: u64) -> usize {
-        let mut st = self.inner.update.lock().expect("update lock poisoned");
+        let mut st = poison::lock(&self.inner.update);
         let snapshot = self.inner.snapshot.load();
         let mut overlay = (*snapshot.overlay).clone();
         let removed = update::apply_remove(&snapshot.sharded, &mut overlay, phrase, listing_id);
@@ -618,6 +624,7 @@ impl ServeRuntime {
     /// Republish `base`'s generation with a new overlay (base unchanged,
     /// so the epoch carries over). Caller holds the update lock.
     fn publish_overlay(&self, base: &Generation, overlay: DeltaOverlay) -> u64 {
+        // ORDER: SeqCst — same publish point as publish(); see above.
         let version = self.inner.version.fetch_add(1, SeqCst) + 1;
         self.inner.handles.overlay.set_overlay_state(&overlay);
         self.inner.snapshot.store(Arc::new(Generation {
@@ -660,6 +667,7 @@ impl ServeRuntime {
         ServeMetrics {
             accepted: h.accepted.get(),
             rejected: h.rejected.get(),
+            // ORDER: SeqCst — reads the publish-point counter; see publish().
             version: self.inner.version.load(SeqCst),
             query_latency: h.query_latency.snapshot(),
             shard_latency: h.shard_latency.iter().map(|s| s.snapshot()).collect(),
@@ -680,12 +688,7 @@ impl ServeRuntime {
         for (shard, gauge) in h.shard_queue_depth.iter().enumerate() {
             gauge.set(self.inner.queues[shard].len() as f64);
         }
-        let age = self
-            .inner
-            .published_at
-            .lock()
-            .expect("publish lock poisoned")
-            .elapsed();
+        let age = poison::lock(&self.inner.published_at).elapsed();
         h.snapshot_age_seconds.set(age.as_secs_f64());
         h.overlay
             .set_overlay_state(&self.inner.snapshot.load().overlay);
@@ -709,7 +712,7 @@ impl Drop for ServeRuntime {
         // through the snapshot the workers still serve from.
         if let Some(stop) = self.compactor_stop.take() {
             let (lock, cv) = &*stop;
-            *lock.lock().expect("stop lock poisoned") = true;
+            *poison::lock(lock) = true;
             cv.notify_all();
         }
         if let Some(compactor) = self.compactor.take() {

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use broadmatch::{AdId, AdInfo, BuildError, DeltaOverlay, MatchType};
 
+use crate::poison;
 use crate::runtime::{Generation, Inner};
 use crate::shard::ShardedIndex;
 
@@ -126,7 +127,7 @@ pub(crate) fn compact(
     loop {
         let t0 = Instant::now();
         let (cut, base_gen) = {
-            let st = inner.update.lock().expect("update lock poisoned");
+            let st = poison::lock(&inner.update);
             (st.log.len(), inner.snapshot.load())
         };
         if base_gen.overlay.is_empty() {
@@ -139,7 +140,7 @@ pub(crate) fn compact(
         );
         let folded_ads = folded.stats().ads;
 
-        let mut st = inner.update.lock().expect("update lock poisoned");
+        let mut st = poison::lock(&inner.update);
         let current = inner.snapshot.load();
         if current.base_epoch != base_gen.base_epoch {
             continue; // base swapped under the fold: re-cut and try again
@@ -158,6 +159,10 @@ pub(crate) fn compact(
         }
         st.log.clear();
         st.base_epoch += 1;
+        // ORDER: SeqCst — the version counter and the snapshot store below
+        // form the publish point other threads read via ArcSwap; keeping
+        // every publish-path atomic in the single SeqCst total order is the
+        // model-checked configuration (see tests/conccheck_models.rs).
         let version = inner.version.fetch_add(1, SeqCst) + 1;
         inner.handles.overlay.set_overlay_state(&overlay);
         inner.snapshot.store(Arc::new(Generation {
@@ -166,7 +171,7 @@ pub(crate) fn compact(
             version,
             base_epoch: st.base_epoch,
         }));
-        *inner.published_at.lock().expect("publish lock poisoned") = Instant::now();
+        *poison::lock(&inner.published_at) = Instant::now();
         inner.handles.snapshot_version.set(version as f64);
         inner
             .handles
@@ -193,11 +198,9 @@ pub(crate) fn spawn_compactor(
         .name("serve-compactor".into())
         .spawn(move || {
             let (lock, cv) = &*stop;
-            let mut stopped = lock.lock().expect("stop lock poisoned");
+            let mut stopped = poison::lock(lock);
             loop {
-                let (guard, _timeout) = cv
-                    .wait_timeout(stopped, cfg.check_interval)
-                    .expect("stop lock poisoned");
+                let (guard, _timeout) = poison::wait_timeout(cv, stopped, cfg.check_interval);
                 stopped = guard;
                 if *stopped {
                     return;
@@ -212,8 +215,10 @@ pub(crate) fn spawn_compactor(
                     // on the next tick.
                     let _ = compact(&inner, n_shards, cfg.workload.clone());
                 }
-                stopped = lock.lock().expect("stop lock poisoned");
+                stopped = poison::lock(lock);
             }
         })
+        // lint: allow(panic) — inability to spawn the maintenance thread at
+        // startup is a fatal configuration error, not a serving-time state.
         .expect("spawn compactor")
 }

@@ -25,18 +25,23 @@ impl Counter {
     /// Increment by one.
     #[inline]
     pub fn inc(&self) {
+        // ORDER: Relaxed — standalone monotone counter; no other memory is
+        // published through it, and fetch_add keeps it exact.
         self.value.fetch_add(1, Relaxed);
     }
 
     /// Increment by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDER: Relaxed — as in inc(): exact count, no ordering role.
         self.value.fetch_add(n, Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ORDER: Relaxed — snapshots tolerate slightly-stale counts (see
+        // module docs); monotonicity comes from fetch_add, not ordering.
         self.value.load(Relaxed)
     }
 }
@@ -51,20 +56,26 @@ impl Gauge {
     /// Set the gauge to `v`.
     #[inline]
     pub fn set(&self, v: f64) {
+        // ORDER: Relaxed — last-writer-wins point-in-time value; readers
+        // need no ordering with any other metric.
         self.bits.store(v.to_bits(), Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> f64 {
+        // ORDER: Relaxed — see set(); a torn read is impossible (one word).
         f64::from_bits(self.bits.load(Relaxed))
     }
 
     /// Add `delta` (compare-and-swap loop; gauges are not hot-path).
     pub fn add(&self, delta: f64) {
+        // ORDER: Relaxed — the CAS loop only needs atomicity of the
+        // read-modify-write on this one word, not ordering with others.
         let mut cur = self.bits.load(Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
+            // ORDER: Relaxed — same single-word argument as above.
             match self.bits.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
                 Ok(_) => return,
                 Err(seen) => cur = seen,

@@ -157,6 +157,8 @@ impl Tracer {
 
     /// Queries observed so far (sampled or not).
     pub fn seen(&self) -> u64 {
+        // ORDER: Relaxed — observability counter; staleness is acceptable
+        // and no other state is published through it.
         self.seen.load(Relaxed)
     }
 
@@ -167,6 +169,8 @@ impl Tracer {
         if self.sample_every == 0 {
             return None;
         }
+        // ORDER: Relaxed — the fetch_add only needs to hand out unique
+        // sequence numbers; sampling decisions need no cross-thread order.
         let seq = self.seen.fetch_add(1, Relaxed);
         if !seq.is_multiple_of(self.sample_every) {
             return None;

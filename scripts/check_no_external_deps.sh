@@ -1,61 +1,9 @@
 #!/usr/bin/env bash
-# Dependency policy check (a cargo-deny stand-in that needs no network):
-# every dependency of every workspace member must resolve to a path inside
-# this repository. Registry or git dependencies anywhere — including dev
-# and optional deps — would break the offline build.
+# Dependency policy check — thin wrapper over the in-repo policy gate so
+# there is exactly one source of truth for what the policy *is* (see
+# tools/lint/src/lib.rs, rule DEPS): every dependency in every manifest is
+# an in-repo path/workspace reference, Cargo.lock pins no registry or git
+# sources, and broadmatch-telemetry stays dependency-free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
-fail=0
-
-# 1. No registry/git requirements in any manifest: every [dependencies]-like
-#    table entry must be `{ path = ... }`, `workspace = true`, or a local
-#    shim declared in [workspace.dependencies] with a path.
-violations=$(cargo metadata --offline --format-version 1 --no-deps \
-  | python3 -c '
-import json, sys
-meta = json.load(sys.stdin)
-bad = []
-for pkg in meta["packages"]:
-    for dep in pkg["dependencies"]:
-        # A path dependency carries "path"; registry deps carry "registry"
-        # (or nothing but a version requirement), git deps carry "source".
-        if dep.get("path") is None:
-            bad.append("%s -> %s (%s)" % (pkg["name"], dep["name"], dep["req"]))
-print("\n".join(bad))
-')
-if [ -n "$violations" ]; then
-  echo "ERROR: non-path dependencies found:" >&2
-  echo "$violations" >&2
-  fail=1
-fi
-
-# 2. broadmatch-telemetry must stay dependency-free: every crate links it
-#    (including leaf crates like memcost), so any dependency it grew would
-#    become a workspace-wide edge — and a cycle the moment an instrumented
-#    crate is the target.
-telemetry_deps=$(cargo metadata --offline --format-version 1 --no-deps \
-  | python3 -c '
-import json, sys
-meta = json.load(sys.stdin)
-for pkg in meta["packages"]:
-    if pkg["name"] == "broadmatch-telemetry":
-        print("\n".join(d["name"] for d in pkg["dependencies"]))
-')
-if [ -n "$telemetry_deps" ]; then
-  echo "ERROR: broadmatch-telemetry must have zero dependencies, found:" >&2
-  echo "$telemetry_deps" >&2
-  fail=1
-fi
-
-# 3. The lockfile must not pin anything from a registry or git source.
-if grep -E '^source = ' Cargo.lock >/dev/null 2>&1; then
-  echo "ERROR: Cargo.lock pins non-path sources:" >&2
-  grep -B2 '^source = ' Cargo.lock >&2
-  fail=1
-fi
-
-if [ "$fail" -eq 0 ]; then
-  echo "OK: all dependencies resolve to in-repo paths (offline-safe)."
-fi
-exit "$fail"
+exec cargo run --quiet -p lint -- deps

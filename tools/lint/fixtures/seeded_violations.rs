@@ -1,0 +1,30 @@
+// Deliberately non-compliant source, used to prove the lint gate fires.
+// NOT compiled (lives outside src/); `lint check` must flag every rule:
+//   - `unsafe` without // SAFETY:
+//   - an atomic Ordering use without // ORDER:
+//   - unwrap/expect/panic! under the hot-path ban
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn naked_unsafe(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub fn unjustified_ordering(c: &AtomicU64) -> u64 {
+    c.load(Ordering::SeqCst)
+}
+
+pub fn hot_path_panics(v: Option<u64>) -> u64 {
+    let x = v.unwrap();
+    if x == 0 {
+        panic!("zero");
+    }
+    x
+}
+
+pub fn justified_ok(c: &AtomicU64) -> u64 {
+    // ORDER: Relaxed — standalone counter, no ordering with other state.
+    let n = c.load(Ordering::Relaxed);
+    // SAFETY: n is a value, not a pointer; this block exists to prove the
+    // justified path stays clean.
+    unsafe { std::mem::transmute::<u64, u64>(n) }
+}

@@ -1,0 +1,431 @@
+//! The repo policy gate, as a library so its rules are unit-testable and
+//! callable from both the `lint` binary and the test suite.
+//!
+//! Rules (see DESIGN.md §"Correctness tooling"):
+//!
+//! 1. **SAFETY** — every `unsafe` site (block, fn, impl) carries a
+//!    `// SAFETY:` comment on the same line or in the comment/attribute
+//!    block immediately above it.
+//! 2. **ORDER** — every atomic-`Ordering` use site carries a `// ORDER:`
+//!    justification on the same line or within the three lines above.
+//!    Applies to files that touch `atomic`; `crates/conccheck` is exempt
+//!    (orderings there are *data* the checker interprets, not choices),
+//!    as are tests.
+//! 3. **PANIC** — serve hot-path modules (`crates/serve/src/*.rs`) must
+//!    not `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+//!    `unimplemented!` outside test code. `assert!` is allowed (invariant
+//!    checks are the point of the conccheck work). A deliberate exception
+//!    is waived with `// lint: allow(panic) — <reason>` on or just above
+//!    the line.
+//! 4. **DEPS** — the zero-external-dependency policy (previously
+//!    `scripts/check_no_external_deps.sh`, now a wrapper over this):
+//!    every dependency in every manifest is an in-repo `path`/`workspace`
+//!    reference, `Cargo.lock` contains no registry `source` entries, and
+//!    `broadmatch-telemetry` keeps zero dependencies.
+//!
+//! Test code is exempt from source rules: files under `tests/`,
+//! `examples/` or `benches/` directories, and everything after the first
+//! `#[cfg(test)]` in a file (the repo convention keeps test modules
+//! last).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One policy violation at a source location.
+#[derive(Debug)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// The workspace root, resolved from this crate's own manifest dir so the
+/// binary works from any working directory.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("tools/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Directories whose sources the gate audits. `vendor/` is excluded: the
+/// shims there stand in for third-party dev tooling and are not
+/// production surface; the DEPS rule still covers their manifests.
+const SOURCE_ROOTS: &[&str] = &["crates", "src", "tests", "tools"];
+
+/// Subtrees the walker never descends into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                walk_rs(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Run the source rules (SAFETY, ORDER, PANIC) over the repo tree.
+pub fn check_repo_sources(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    for sub in SOURCE_ROOTS {
+        walk_rs(&root.join(sub), &mut files);
+    }
+    let mut out = Vec::new();
+    for f in &files {
+        let rel = f.strip_prefix(root).unwrap_or(f);
+        check_file(f, &file_rules(rel), &mut out);
+    }
+    out
+}
+
+/// Run every source rule unconditionally over explicit paths — the
+/// fixture mode (`lint check <path>…`).
+pub fn check_paths_strict(paths: &[PathBuf]) -> Vec<Violation> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            walk_rs(p, &mut files);
+        } else {
+            files.push(p.clone());
+        }
+    }
+    let strict = FileRules {
+        safety: true,
+        order: true,
+        panic_ban: true,
+        test_exempt: false,
+    };
+    let mut out = Vec::new();
+    for f in &files {
+        check_file(f, &strict, &mut out);
+    }
+    out
+}
+
+/// Which rules apply to a file, from its repo-relative path.
+struct FileRules {
+    safety: bool,
+    order: bool,
+    panic_ban: bool,
+    /// Whether `#[cfg(test)]` regions and test directories are exempt.
+    test_exempt: bool,
+}
+
+fn file_rules(rel: &Path) -> FileRules {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    let in_test_dir = s
+        .split('/')
+        .any(|c| c == "tests" || c == "examples" || c == "benches");
+    let in_conccheck = s.starts_with("crates/conccheck/");
+    let hot_path = s.starts_with("crates/serve/src/");
+    FileRules {
+        safety: !in_test_dir,
+        order: !in_test_dir && !in_conccheck,
+        panic_ban: hot_path,
+        test_exempt: true,
+    }
+}
+
+const ORDERING_TOKENS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("*") || t.starts_with("/*")
+}
+
+fn is_attr(line: &str) -> bool {
+    line.trim_start().starts_with("#[") || line.trim_start().starts_with("#![")
+}
+
+/// Whole-word occurrence check (tokens are identifiers).
+fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let after_ok =
+            end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Does the comment/attribute block immediately above `idx` (or the line
+/// itself) contain `marker`? `reach` bounds how far a plain-code lookback
+/// may go (for ORDER, which allows the marker a few lines up even without
+/// a contiguous comment block).
+fn justified(lines: &[&str], idx: usize, marker: &str, reach: usize) -> bool {
+    if lines[idx].contains(marker) {
+        return true;
+    }
+    // Contiguous comment/attribute block above.
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = lines[i];
+        if is_comment(l) || is_attr(l) {
+            if l.contains(marker) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    // Bounded plain lookback (multi-line expressions).
+    for back in 1..=reach {
+        if back > idx {
+            break;
+        }
+        if lines[idx - back].contains(marker) {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_file(path: &Path, rules: &FileRules, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        out.push(Violation {
+            file: path.to_path_buf(),
+            line: 0,
+            rule: "io",
+            message: "unreadable source file".into(),
+        });
+        return;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mentions_atomic = text.contains("atomic");
+    let mut in_test_region = false;
+    for (i, line) in lines.iter().enumerate() {
+        if rules.test_exempt && line.contains("#[cfg(test)]") {
+            in_test_region = true;
+        }
+        if in_test_region || is_comment(line) {
+            continue;
+        }
+        let lineno = i + 1;
+        if rules.safety
+            && has_word(line, "unsafe")
+            && !line.contains("unsafe_code")
+            && !justified(&lines, i, "SAFETY:", 0)
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: lineno,
+                rule: "safety",
+                message: "`unsafe` without a `// SAFETY:` justification".into(),
+            });
+        }
+        if rules.order
+            && mentions_atomic
+            && !line.trim_start().starts_with("use ")
+            && !line.trim_start().starts_with("pub use ")
+            && ORDERING_TOKENS.iter().any(|t| has_word(line, t))
+            && !justified(&lines, i, "ORDER:", 3)
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: lineno,
+                rule: "order",
+                message: "atomic ordering without a `// ORDER:` justification".into(),
+            });
+        }
+        if rules.panic_ban {
+            if let Some(tok) = PANIC_TOKENS.iter().find(|t| line.contains(**t)) {
+                if !justified(&lines, i, "lint: allow(panic)", 2) {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: lineno,
+                        rule: "panic",
+                        message: format!("`{tok}` in a serve hot-path module"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DEPS: the zero-external-dependency policy.
+// ---------------------------------------------------------------------------
+
+/// Check the whole dependency policy: manifests, lockfile, telemetry.
+pub fn check_deps(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut manifests = Vec::new();
+    find_manifests(root, &mut manifests);
+    for m in &manifests {
+        check_manifest(m, &mut out);
+    }
+    check_lockfile(&root.join("Cargo.lock"), &mut out);
+    check_telemetry_zero_deps(&root.join("crates/telemetry/Cargo.toml"), &mut out);
+    out
+}
+
+fn find_manifests(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name != "target" && name != ".git" {
+                find_manifests(&path, out);
+            }
+        } else if path.file_name().and_then(|n| n.to_str()) == Some("Cargo.toml") {
+            out.push(path);
+        }
+    }
+}
+
+/// Line-oriented manifest audit: inside any `*dependencies*` table, every
+/// entry must be an in-repo reference. Handles inline tables
+/// (`x = { path = … }`), `x.workspace = true`, and
+/// `[dependencies.x]` subsections.
+fn check_manifest(path: &Path, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut in_deps = false;
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i].trim();
+        if line.starts_with('[') {
+            let section = line.trim_matches(|c| c == '[' || c == ']');
+            if section.contains("dependencies.") {
+                // `[dependencies.x]` subsection: scan it for path/workspace.
+                let mut ok = false;
+                let mut j = i + 1;
+                while j < lines.len() && !lines[j].trim().starts_with('[') {
+                    let l = lines[j].trim();
+                    if l.starts_with("path") || l.starts_with("workspace") {
+                        ok = true;
+                    }
+                    j += 1;
+                }
+                if !ok {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: i + 1,
+                        rule: "deps",
+                        message: format!(
+                            "`[{section}]` is not an in-repo path/workspace dependency"
+                        ),
+                    });
+                }
+                in_deps = false;
+                i = j;
+                continue;
+            }
+            in_deps = section == "dependencies"
+                || section.ends_with("-dependencies")
+                || section.ends_with(".dependencies");
+            i += 1;
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            let in_repo = line.contains("path =")
+                || line.contains("path=")
+                || line.contains("workspace = true")
+                || line.contains("workspace=true")
+                || line.contains(".workspace");
+            if !in_repo && line.contains('=') {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: i + 1,
+                    rule: "deps",
+                    message: format!("external dependency declaration: `{line}`"),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+fn check_lockfile(path: &Path, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        out.push(Violation {
+            file: path.to_path_buf(),
+            line: 0,
+            rule: "deps",
+            message: "Cargo.lock missing (run a build to regenerate)".into(),
+        });
+        return;
+    };
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("source =") {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: "deps",
+                message: "registry source in Cargo.lock (external crate resolved)".into(),
+            });
+        }
+    }
+}
+
+/// The telemetry crate is the one consumers embed; it must stay
+/// dependency-free (its headline guarantee since PR 2).
+fn check_telemetry_zero_deps(path: &Path, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let mut in_runtime_deps = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_runtime_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_runtime_deps && !line.is_empty() && !line.starts_with('#') {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: "deps",
+                message: "broadmatch-telemetry must have zero runtime dependencies".into(),
+            });
+        }
+    }
+}

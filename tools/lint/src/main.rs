@@ -1,0 +1,47 @@
+//! The repo policy gate (`cargo run -p lint`). See `lib.rs` for the
+//! rules. Exit status is the contract: 0 clean, 1 on any violation.
+//!
+//! Usage:
+//!   lint               run every check over the repo
+//!   lint deps          dependency policy only (used by
+//!                      scripts/check_no_external_deps.sh)
+//!   lint check <path>… source rules, strictly, over explicit paths
+//!                      (fixture/self-test mode)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = lint::repo_root();
+    let violations = match args.first().map(String::as_str) {
+        None => {
+            let mut v = lint::check_repo_sources(&root);
+            v.extend(lint::check_deps(&root));
+            v
+        }
+        Some("deps") => lint::check_deps(&root),
+        Some("check") => {
+            let paths: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
+            if paths.is_empty() {
+                eprintln!("lint check: no paths given");
+                return ExitCode::from(2);
+            }
+            lint::check_paths_strict(&paths)
+        }
+        Some(other) => {
+            eprintln!("lint: unknown subcommand `{other}` (expected: deps | check <path>…)");
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,60 @@
+//! The gate gating itself: the fixture must trip every rule, and the repo
+//! must be clean — which makes "lint passes" a tier-1 test, not only a CI
+//! step.
+
+use std::path::PathBuf;
+
+fn fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/seeded_violations.rs")
+}
+
+#[test]
+fn fixture_trips_every_rule() {
+    let violations = lint::check_paths_strict(&[fixture()]);
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    assert!(
+        rules.contains(&"safety"),
+        "missing safety hit: {violations:?}"
+    );
+    assert!(
+        rules.contains(&"order"),
+        "missing order hit: {violations:?}"
+    );
+    assert!(
+        rules.contains(&"panic"),
+        "missing panic hit: {violations:?}"
+    );
+    // The justified tail of the fixture must NOT be flagged.
+    assert!(
+        violations.iter().all(|v| v.line < 25),
+        "justified sites were flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn repo_sources_are_clean() {
+    let violations = lint::check_repo_sources(&lint::repo_root());
+    assert!(
+        violations.is_empty(),
+        "repo violates its own policy:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn dependency_policy_holds() {
+    let violations = lint::check_deps(&lint::repo_root());
+    assert!(
+        violations.is_empty(),
+        "dependency policy violated:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
