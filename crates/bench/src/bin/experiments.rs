@@ -20,6 +20,7 @@ experiment ids:
   modified-bytes   modified-index data volume            (Sec. VII-A)
   multiserver      two-server deployment + latency dist  (Sec. VII-B, Fig. 9)
   serve-throughput serving-runtime shard/worker sweep + netsim calibration
+  net-throughput   loopback TCP cluster vs netsim fan-out model
   update-churn     online insert/delete + compaction latency (Sec. VI)
   cost-model-fit   predicted vs measured query cost      (Sec. IV-A; --tiny for smoke runs)
   fig10            re-mapping variants                   (Fig. 10)
@@ -80,6 +81,7 @@ fn main() {
             "modified-bytes",
             "multiserver",
             "serve-throughput",
+            "net-throughput",
             "update-churn",
             "cost-model-fit",
             "fig10",
@@ -125,6 +127,9 @@ fn main() {
             }
             "serve-throughput" => {
                 serve_throughput::run(scale, seed);
+            }
+            "net-throughput" => {
+                net_throughput::run(scale, seed);
             }
             "update-churn" => {
                 update_churn::run(scale, seed);

@@ -1,0 +1,439 @@
+//! The front end: scatter-gather across shard backends with hedging and
+//! graceful degradation.
+//!
+//! A cluster partitions the ad corpus across `n` backends by
+//! [`partition_of`] on the bid phrase; a broad-match query can therefore
+//! match on any backend, so the router scatters every query to **all**
+//! backends and unions the results (backend order, so the merged hit
+//! list is deterministic for a given topology).
+//!
+//! Tail control follows the classic two-knob scheme:
+//!
+//! * every backend call carries a **deadline** (`RouterConfig::deadline`),
+//!   enforced with socket read timeouts;
+//! * a backend that hasn't answered within `hedge_after` gets **one
+//!   hedged retry** on a fresh connection with the remaining deadline —
+//!   the common cure for a straggler that lost the race to a queue or a
+//!   stale pooled connection.
+//!
+//! A backend that still fails or times out does **not** fail the query:
+//! the response comes back with `degraded = true`, the surviving shards'
+//! hits, and a per-shard [`ShardStatus`] so the caller can see exactly
+//! which partition went dark. Admission-control rejects surface as
+//! [`ShardState::Overloaded`] with the backend's retry-after hint.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use broadmatch::{MatchHit, MatchType, QueryStats};
+use broadmatch_serve::poison;
+use broadmatch_telemetry::Registry;
+use std::sync::Arc;
+
+use crate::metrics::RouterMetrics;
+use crate::wire::{ErrorCode, QueryReply, Request, Response, WireError};
+
+/// Router tail-control knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-backend deadline for one scattered query.
+    pub deadline: Duration,
+    /// Straggler threshold: a backend silent this long gets one hedged
+    /// retry on a fresh connection.
+    pub hedge_after: Duration,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            deadline: Duration::from_millis(500),
+            hedge_after: Duration::from_millis(100),
+            connect_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// How one backend fared for one scattered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Answered within the hedge threshold.
+    Ok,
+    /// Answered, but only after a hedged retry.
+    Hedged,
+    /// Refused by the backend's admission control.
+    Overloaded,
+    /// No answer within the deadline (hedge included).
+    TimedOut,
+    /// Connect or transport failure (hedge included).
+    Failed,
+}
+
+/// Per-backend outcome attached to a routed response.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Backend index in the router's topology.
+    pub backend: usize,
+    /// Outcome.
+    pub state: ShardState,
+    /// Round-trip latency for this backend's slot (to failure or success).
+    pub latency_ms: f64,
+    /// Retry-after hint when `state == Overloaded` (microseconds).
+    pub retry_after_micros: u64,
+}
+
+impl ShardStatus {
+    /// Did this shard contribute results?
+    pub fn answered(&self) -> bool {
+        matches!(self.state, ShardState::Ok | ShardState::Hedged)
+    }
+}
+
+/// A gathered (possibly partial) query result.
+#[derive(Debug, Clone)]
+pub struct RoutedResponse {
+    /// Union of the answering shards' hits, in backend order.
+    pub hits: Vec<MatchHit>,
+    /// Summed statistics across answering shards.
+    pub stats: QueryStats,
+    /// True when at least one shard failed to contribute.
+    pub degraded: bool,
+    /// Per-shard outcome, indexed by backend.
+    pub shards: Vec<ShardStatus>,
+}
+
+struct BackendSlot {
+    addr: Mutex<SocketAddr>,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+/// A scatter-gather front end over a fixed set of shard backends.
+pub struct Router {
+    backends: Vec<BackendSlot>,
+    config: RouterConfig,
+    registry: Arc<Registry>,
+    metrics: RouterMetrics,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("backends", &self.backends.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Which backend owns a bid phrase: FNV-1a over the raw phrase bytes,
+/// mod the backend count. The corpus loaders in the tests and the
+/// `net-throughput` experiment partition with the same function, so
+/// single-backend truths compose into cluster truths.
+pub fn partition_of(phrase: &str, n_backends: usize) -> usize {
+    if n_backends <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in phrase.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % n_backends as u64) as usize
+}
+
+impl Router {
+    /// A router over `backends`, with metric families registered in
+    /// `registry`.
+    pub fn new(backends: Vec<SocketAddr>, config: RouterConfig, registry: Arc<Registry>) -> Router {
+        let metrics = RouterMetrics::register(&registry, backends.len());
+        Router {
+            backends: backends
+                .into_iter()
+                .map(|addr| BackendSlot {
+                    addr: Mutex::new(addr),
+                    pool: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            config,
+            registry,
+            metrics,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Number of backends in the topology.
+    pub fn n_backends(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The router's telemetry registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Repoint backend `i` (service-discovery update after a restart on a
+    /// new port). Drops that backend's pooled connections.
+    pub fn set_backend(&self, i: usize, addr: SocketAddr) {
+        if let Some(slot) = self.backends.get(i) {
+            *poison::lock(&slot.addr) = addr;
+            poison::lock(&slot.pool).clear();
+        }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        // ORDER: Relaxed — a unique-id counter; no memory is published
+        // under this ordering.
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn connect(&self, i: usize, timeout: Duration) -> Result<TcpStream, WireError> {
+        let slot = self.backends.get(i).ok_or(WireError::Closed)?;
+        let addr = *poison::lock(&slot.addr);
+        let stream = TcpStream::connect_timeout(&addr, timeout).map_err(WireError::from)?;
+        stream.set_nodelay(true).map_err(WireError::from)?;
+        Ok(stream)
+    }
+
+    fn take_pooled(&self, i: usize) -> Option<TcpStream> {
+        self.backends
+            .get(i)
+            .and_then(|s| poison::lock(&s.pool).pop())
+    }
+
+    fn return_pooled(&self, i: usize, conn: TcpStream) {
+        if let Some(slot) = self.backends.get(i) {
+            poison::lock(&slot.pool).push(conn);
+        }
+    }
+
+    /// One request/response exchange with backend `i` using the pooled
+    /// connection (dialing if none), with `timeout` as the read timeout.
+    /// The connection returns to the pool only after a clean exchange; a
+    /// timed-out or failed connection is dropped, because a late response
+    /// left in its buffer would desynchronize the next caller.
+    fn exchange(
+        &self,
+        i: usize,
+        req: &Request,
+        timeout: Duration,
+        fresh: bool,
+    ) -> Result<Response, WireError> {
+        let mut conn = match if fresh { None } else { self.take_pooled(i) } {
+            Some(c) => c,
+            None => self.connect(i, self.config.connect_timeout.min(timeout))?,
+        };
+        // A zero read timeout means "blocking" to the socket API; clamp.
+        let timeout = timeout.max(Duration::from_millis(1));
+        conn.set_read_timeout(Some(timeout))
+            .map_err(WireError::from)?;
+        let resp = crate::server::call(&mut conn, req, self.fresh_id())?;
+        self.return_pooled(i, conn);
+        Ok(resp)
+    }
+
+    /// Call backend `i` directly (mutations, health, metrics, op-log
+    /// fetches). Applies the full deadline with no hedging, retrying once
+    /// on a fresh connection only when a *pooled* connection failed — a
+    /// stale pool entry (backend restarted) shouldn't surface as an error.
+    ///
+    /// # Errors
+    /// [`WireError`] when the backend is unreachable or misbehaving.
+    pub fn call_backend(&self, i: usize, req: &Request) -> Result<Response, WireError> {
+        let had_pooled = {
+            let pooled = self
+                .backends
+                .get(i)
+                .map(|s| !poison::lock(&s.pool).is_empty());
+            pooled.unwrap_or(false)
+        };
+        match self.exchange(i, req, self.config.deadline, false) {
+            Ok(r) => Ok(r),
+            Err(e) if had_pooled => {
+                let _ = e;
+                self.exchange(i, req, self.config.deadline, true)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Route a mutation to the backend owning `phrase`.
+    ///
+    /// # Errors
+    /// [`WireError`] when the owning backend is unreachable.
+    pub fn route_mutation(&self, phrase: &str, req: &Request) -> Result<Response, WireError> {
+        self.call_backend(partition_of(phrase, self.backends.len()), req)
+    }
+
+    /// Scatter a query to every backend, gather with hedging and
+    /// degradation. Never fails: with all backends dark the response is
+    /// empty, degraded, with per-shard failure states.
+    pub fn query(&self, text: &str, match_type: MatchType) -> RoutedResponse {
+        let t0 = Instant::now();
+        self.metrics.requests_total.inc();
+        let req = Request::Query {
+            text: text.into(),
+            match_type,
+        };
+        let mut outcomes: Vec<(ShardStatus, Option<QueryReply>)> =
+            Vec::with_capacity(self.backends.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.backends.len());
+            for i in 0..self.backends.len() {
+                let req = &req;
+                handles.push(scope.spawn(move || self.query_one(i, req)));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(_) => outcomes.push((
+                        ShardStatus {
+                            backend: outcomes.len(),
+                            state: ShardState::Failed,
+                            latency_ms: 0.0,
+                            retry_after_micros: 0,
+                        },
+                        None,
+                    )),
+                }
+            }
+        });
+
+        let mut hits = Vec::new();
+        let mut stats = QueryStats::default();
+        let mut shards = Vec::with_capacity(outcomes.len());
+        let mut degraded = false;
+        for (status, reply) in outcomes {
+            if let Some(reply) = reply {
+                hits.extend(reply.hits);
+                add_stats(&mut stats, &reply.stats);
+            } else {
+                degraded = true;
+            }
+            shards.push(status);
+        }
+        stats.hits = hits.len();
+        if degraded {
+            self.metrics.degraded_total.inc();
+        }
+        self.metrics
+            .query_latency
+            .record(t0.elapsed().as_secs_f64() * 1e3);
+        RoutedResponse {
+            hits,
+            stats,
+            degraded,
+            shards,
+        }
+    }
+
+    /// One backend's slot of a scattered query: deadline, one hedged
+    /// retry, outcome classification.
+    fn query_one(&self, i: usize, req: &Request) -> (ShardStatus, Option<QueryReply>) {
+        let t0 = Instant::now();
+        let deadline = self.config.deadline;
+        let first_wait = self.config.hedge_after.min(deadline);
+
+        let first = self.exchange(i, req, first_wait, false);
+        let (result, hedged) = match first {
+            Ok(r) => (Ok(r), false),
+            Err(_) => {
+                // Straggler or broken connection: one hedged retry on a
+                // fresh connection with whatever deadline remains.
+                self.metrics.hedges_total.inc();
+                let remaining = deadline.saturating_sub(t0.elapsed());
+                if remaining.is_zero() {
+                    (first, false)
+                } else {
+                    (self.exchange(i, req, remaining, true), true)
+                }
+            }
+        };
+        let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if let Some(h) = self.metrics.backend_latency.get(i) {
+            h.record(latency_ms);
+        }
+
+        let mut status = ShardStatus {
+            backend: i,
+            state: ShardState::Failed,
+            latency_ms,
+            retry_after_micros: 0,
+        };
+        match result {
+            Ok(Response::Query(reply)) => {
+                status.state = if hedged {
+                    ShardState::Hedged
+                } else {
+                    ShardState::Ok
+                };
+                (status, Some(reply))
+            }
+            Ok(Response::Error(err)) if err.code == ErrorCode::Overloaded => {
+                status.state = ShardState::Overloaded;
+                status.retry_after_micros = err.retry_after_micros;
+                (status, None)
+            }
+            Ok(_) => {
+                if let Some(c) = self.metrics.backend_failures.get(i) {
+                    c.inc();
+                }
+                (status, None)
+            }
+            Err(e) => {
+                let timed_out = matches!(
+                    e,
+                    WireError::Io(std::io::ErrorKind::WouldBlock)
+                        | WireError::Io(std::io::ErrorKind::TimedOut)
+                );
+                if timed_out {
+                    self.metrics.timeouts_total.inc();
+                    status.state = ShardState::TimedOut;
+                } else if let Some(c) = self.metrics.backend_failures.get(i) {
+                    c.inc();
+                }
+                (status, None)
+            }
+        }
+    }
+}
+
+/// Sum `s` into `acc` (hits are recomputed by the caller from the merged
+/// list; `truncated` ORs).
+fn add_stats(acc: &mut QueryStats, s: &QueryStats) {
+    acc.probes += s.probes;
+    acc.probe_hits += s.probe_hits;
+    acc.nodes_visited += s.nodes_visited;
+    acc.entries_examined += s.entries_examined;
+    acc.ads_examined += s.ads_examined;
+    acc.scanned_bytes += s.scanned_bytes;
+    acc.early_terminations += s.early_terminations;
+    acc.remapped_nodes += s.remapped_nodes;
+    acc.remapped_scan_bytes += s.remapped_scan_bytes;
+    acc.tombstone_hits += s.tombstone_hits;
+    acc.overlay_hits += s.overlay_hits;
+    acc.truncated |= s.truncated;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        for n in 1..8 {
+            for phrase in ["cheap used books", "flights to boston", "", "a"] {
+                let p = partition_of(phrase, n);
+                assert!(p < n);
+                assert_eq!(p, partition_of(phrase, n));
+            }
+        }
+        // Not everything lands on one backend.
+        let spread: std::collections::HashSet<usize> = (0..100)
+            .map(|i| partition_of(&format!("phrase number {i}"), 4))
+            .collect();
+        assert!(spread.len() > 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end loopback cluster: router + 3 backends over a partitioned
+//! corpus must answer exactly like a single-threaded index over the whole
+//! corpus, and the wire layer's error/overload/metrics paths must work
+//! over real sockets.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use broadmatch::{AdInfo, MatchType};
+use broadmatch_net::wire::{ErrorCode, Request, Response};
+use broadmatch_net::{Router, RouterConfig};
+use broadmatch_telemetry::Registry;
+
+use common::{backend_over, listing_multiset, partitioned_corpus, probe_queries, truth_hits};
+
+const N_BACKENDS: usize = 3;
+
+#[test]
+fn routed_queries_match_single_threaded_truth() {
+    let parts = partitioned_corpus(N_BACKENDS, 11);
+    let all: Vec<_> = parts.iter().flatten().cloned().collect();
+    let backends: Vec<_> = parts.iter().map(|p| backend_over(p)).collect();
+    let router = Router::new(
+        backends.iter().map(|b| b.local_addr()).collect(),
+        RouterConfig::default(),
+        Arc::new(Registry::new()),
+    );
+
+    let mut multi_shard_hits = 0;
+    for (i, query) in probe_queries(&parts, 40).iter().enumerate() {
+        let mt = if i % 3 == 0 {
+            MatchType::Exact
+        } else {
+            MatchType::Broad
+        };
+        let routed = router.query(query, mt);
+        assert!(!routed.degraded, "healthy cluster must not degrade");
+        assert!(routed.shards.iter().all(|s| s.answered()));
+        let truth = truth_hits(&all, query, mt);
+        assert_eq!(
+            listing_multiset(&routed.hits),
+            listing_multiset(&truth),
+            "query {query:?} ({mt:?}) diverged from single-threaded truth"
+        );
+        assert_eq!(routed.stats.hits, truth.len());
+        if routed.hits.len() > 1 {
+            multi_shard_hits += 1;
+        }
+    }
+    assert!(multi_shard_hits > 0, "corpus too sparse to exercise gather");
+}
+
+#[test]
+fn mutations_route_to_owners_and_become_visible() {
+    let parts = partitioned_corpus(N_BACKENDS, 13);
+    let backends: Vec<_> = parts.iter().map(|p| backend_over(p)).collect();
+    let router = Router::new(
+        backends.iter().map(|b| b.local_addr()).collect(),
+        RouterConfig::default(),
+        Arc::new(Registry::new()),
+    );
+
+    let phrase = "zz brand new gadget";
+    let info = AdInfo::with_bid(900_001, 75);
+    let resp = router
+        .route_mutation(
+            phrase,
+            &Request::Insert {
+                phrase: phrase.into(),
+                info,
+            },
+        )
+        .expect("owner reachable");
+    let Response::Insert { seq, .. } = resp else {
+        panic!("unexpected insert response: {resp:?}");
+    };
+    assert_eq!(seq, 1, "first logged op on that backend");
+
+    let routed = router.query("zz brand new gadget today", MatchType::Broad);
+    assert!(!routed.degraded);
+    assert!(
+        routed.hits.iter().any(|h| h.info.listing_id == 900_001),
+        "inserted ad must be served by the owning backend"
+    );
+
+    let removed = router
+        .route_mutation(
+            phrase,
+            &Request::Remove {
+                phrase: phrase.into(),
+                listing_id: 900_001,
+            },
+        )
+        .expect("owner reachable");
+    let Response::Remove { removed, .. } = removed else {
+        panic!("unexpected remove response: {removed:?}");
+    };
+    assert_eq!(removed, 1);
+    let routed = router.query("zz brand new gadget today", MatchType::Broad);
+    assert!(routed.hits.iter().all(|h| h.info.listing_id != 900_001));
+}
+
+#[test]
+fn wire_errors_and_metrics_flow_over_sockets() {
+    let parts = partitioned_corpus(N_BACKENDS, 17);
+    let backend = backend_over(&parts[0]);
+    let router = Router::new(
+        vec![backend.local_addr()],
+        RouterConfig::default(),
+        Arc::new(Registry::new()),
+    );
+
+    // Empty-phrase insert is rejected by the build layer → BadRequest.
+    let resp = router
+        .call_backend(
+            0,
+            &Request::Insert {
+                phrase: "   ".into(),
+                info: AdInfo::with_bid(1, 1),
+            },
+        )
+        .expect("backend reachable");
+    let Response::Error(err) = resp else {
+        panic!("expected a BadRequest error, got {resp:?}");
+    };
+    assert_eq!(err.code, ErrorCode::BadRequest);
+
+    // Health reports the published version and an empty op log.
+    let Ok(Response::Health {
+        version, oplog_seq, ..
+    }) = router.call_backend(0, &Request::Health)
+    else {
+        panic!("health must answer");
+    };
+    assert_eq!(version, 1);
+    assert_eq!(oplog_seq, 0);
+
+    // The metrics dump carries serve and net families in one exposition.
+    let Ok(Response::Metrics { text }) = router.call_backend(0, &Request::Metrics) else {
+        panic!("metrics must answer");
+    };
+    for family in [
+        "serve_queries_accepted_total",
+        "net_connections_total",
+        "net_frames_in_total",
+        "net_frames_out_total",
+    ] {
+        assert!(text.contains(family), "exposition missing {family}");
+    }
+}
+
+#[test]
+fn accept_budget_refuses_with_an_overloaded_frame() {
+    let parts = partitioned_corpus(1, 19);
+    let runtime = common::runtime_over(&parts[0]);
+    let backend = broadmatch_net::Backend::bind(
+        "127.0.0.1:0",
+        runtime,
+        broadmatch_net::BackendConfig {
+            max_connections: 1,
+            accept_poll: Duration::from_millis(1),
+        },
+    )
+    .expect("bind");
+
+    // First connection occupies the budget.
+    let mut first = std::net::TcpStream::connect(backend.local_addr()).expect("connect");
+    let Ok(Response::Health { .. }) = broadmatch_net::call(&mut first, &Request::Health, 1) else {
+        panic!("first connection must be served");
+    };
+
+    // The second is refused with a single unsolicited Overloaded error
+    // frame, then closed — no request needs to be sent.
+    let mut second = std::net::TcpStream::connect(backend.local_addr()).expect("connect");
+    second
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("set timeout");
+    let frame = broadmatch_net::wire::read_frame(&mut second).expect("refusal frame");
+    let Ok(Response::Error(err)) = Response::from_frame(&frame) else {
+        panic!("expected an error refusal, got {frame:?}");
+    };
+    assert_eq!(err.code, ErrorCode::Overloaded);
+    assert_eq!(
+        broadmatch_net::wire::read_frame(&mut second),
+        Err(broadmatch_net::WireError::Closed),
+        "refused connection must be closed after the error frame"
+    );
+}

@@ -16,13 +16,22 @@
 //! paper loads its servers ("we set the inter-arrival time between queries
 //! as high as possible until one of the structures did not increase in
 //! throughput").
+//!
+//! The [`fanout`] module extends the same machinery to the sharded
+//! scatter-gather topology that `broadmatch-net` builds for real: one
+//! query fans out to every shard backend and completes on the slowest
+//! leg. `experiments net-throughput` runs both — a measured loopback
+//! cluster and [`run_fanout`] with the same topology and calibrated
+//! service times — and puts measured vs predicted side by side.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod des;
+pub mod fanout;
 mod model;
 
 pub use des::EventQueue;
+pub use fanout::{run_fanout, saturate_fanout, FanoutConfig, FanoutReport};
 pub use model::{run_simulation, saturate};
 pub use model::{LatencyHistogram, ServiceDist, SimReport, TwoServerConfig};

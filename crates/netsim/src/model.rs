@@ -116,14 +116,14 @@ pub struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
-    fn new(bucket_ms: f64) -> Self {
+    pub(crate) fn new(bucket_ms: f64) -> Self {
         LatencyHistogram {
             bucket_ms,
             counts: Vec::new(),
         }
     }
 
-    fn record(&mut self, latency_ms: f64) {
+    pub(crate) fn record(&mut self, latency_ms: f64) {
         let b = (latency_ms / self.bucket_ms) as usize;
         if self.counts.len() <= b {
             self.counts.resize(b + 1, 0);
@@ -206,7 +206,7 @@ enum Event {
 }
 
 /// A `c`-worker FIFO service station.
-struct Station {
+pub(crate) struct Station {
     workers: usize,
     busy: usize,
     waiting: std::collections::VecDeque<u32>,
@@ -214,7 +214,7 @@ struct Station {
 }
 
 impl Station {
-    fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize) -> Self {
         Station {
             workers,
             busy: 0,
@@ -223,9 +223,14 @@ impl Station {
         }
     }
 
+    /// Total busy worker-time accumulated (for utilization accounting).
+    pub(crate) fn busy_time_ms(&self) -> f64 {
+        self.busy_time_ms
+    }
+
     /// Offer `q` to the station; start service if a worker is free.
     /// Returns the service time if started.
-    fn offer<R: RandomSource + ?Sized>(
+    pub(crate) fn offer<R: RandomSource + ?Sized>(
         &mut self,
         q: u32,
         dist: &ServiceDist,
@@ -244,7 +249,7 @@ impl Station {
 
     /// A worker finished; pull the next waiting query if any. Returns
     /// `(query, service_time)` if a new service starts.
-    fn release<R: RandomSource + ?Sized>(
+    pub(crate) fn release<R: RandomSource + ?Sized>(
         &mut self,
         dist: &ServiceDist,
         rng: &mut R,

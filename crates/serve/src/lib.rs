@@ -49,7 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod arcswap;
-pub(crate) mod poison;
+pub mod poison;
 pub mod queue;
 pub mod runtime;
 pub mod shard;

@@ -10,22 +10,26 @@
 //! serve hot-path lint rule (`tools/lint`) bans `unwrap`/`expect` in
 //! these modules; these helpers are the sanctioned replacement: recover
 //! the guard and keep serving.
+//!
+//! Public because the `broadmatch-net` cluster layer sits under the same
+//! hot-path lint rule and guards the same kind of panic-tolerant state
+//! (connection pools, replication logs).
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
 use std::time::Duration;
 
 /// Lock, recovering the guard from a poisoned mutex.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// `Condvar::wait`, recovering the guard from poison.
-pub(crate) fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+pub fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(g).unwrap_or_else(PoisonError::into_inner)
 }
 
 /// `Condvar::wait_timeout`, recovering the guard from poison.
-pub(crate) fn wait_timeout<'a, T>(
+pub fn wait_timeout<'a, T>(
     cv: &Condvar,
     g: MutexGuard<'a, T>,
     dur: Duration,

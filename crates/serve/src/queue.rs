@@ -181,6 +181,98 @@ mod tests {
         );
     }
 
+    /// Audit for the multi-connection ingress path (`crates/net` hands
+    /// every connection thread straight to `try_push`): a simultaneous
+    /// burst from N producers with no consumer running must admit EXACTLY
+    /// `capacity` items — the len-check-then-push happens under one state
+    /// mutex, so there is no window where two producers both observe a
+    /// free slot and over-admit past the bound.
+    #[test]
+    fn concurrent_burst_never_over_admits() {
+        const PRODUCERS: usize = 16;
+        const PER_PRODUCER: usize = 64;
+        const CAPACITY: usize = 37; // deliberately not a multiple of anything
+        let q = std::sync::Arc::new(BoundedQueue::new(CAPACITY));
+        let admitted = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(PRODUCERS));
+        std::thread::scope(|s| {
+            for t in 0..PRODUCERS {
+                let q = q.clone();
+                let admitted = admitted.clone();
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    barrier.wait(); // maximally simultaneous burst
+                    for i in 0..PER_PRODUCER {
+                        if q.try_push(t * PER_PRODUCER + i).is_ok() {
+                            admitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            admitted.load(std::sync::atomic::Ordering::Relaxed),
+            CAPACITY,
+            "burst admission must stop exactly at the bound"
+        );
+        assert_eq!(q.len(), CAPACITY);
+        // Draining frees exactly the admitted slots, no phantoms.
+        let mut drained = 0;
+        while let PopResult::Items(v) = q.pop_batch(8, Some(Duration::from_millis(1))) {
+            drained += v.len();
+        }
+        assert_eq!(drained, CAPACITY);
+    }
+
+    /// Same audit with consumers live: a sampling thread watches `len()`
+    /// while producers burst and consumers drain; the queued depth must
+    /// never exceed capacity at any observed instant.
+    #[test]
+    fn depth_never_exceeds_capacity_under_churn() {
+        const CAPACITY: usize = 8;
+        let q = std::sync::Arc::new(BoundedQueue::new(CAPACITY));
+        let max_seen = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let _ = q.try_push(t * 10_000 + i); // rejects are fine
+                    }
+                });
+            }
+            {
+                let q = q.clone();
+                s.spawn(move || loop {
+                    match q.pop_batch(4, None) {
+                        PopResult::Items(_) => {}
+                        PopResult::Closed => return,
+                        PopResult::TimedOut => unreachable!("no timeout given"),
+                    }
+                });
+            }
+            {
+                let q = q.clone();
+                let max_seen = max_seen.clone();
+                s.spawn(move || {
+                    for _ in 0..50_000 {
+                        let d = q.len();
+                        max_seen.fetch_max(d, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+            // Producers finish first (scope join order is reverse-spawn, so
+            // close after a short settle to release the consumer).
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+        });
+        assert!(
+            max_seen.load(std::sync::atomic::Ordering::Relaxed) <= CAPACITY,
+            "observed depth {} beyond capacity {CAPACITY}",
+            max_seen.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+
     #[test]
     fn concurrent_producers_consumers_preserve_items() {
         let q = std::sync::Arc::new(BoundedQueue::new(16));

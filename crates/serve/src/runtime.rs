@@ -118,6 +118,11 @@ pub struct ServeMetrics {
     /// Per-shard admission rejects (which shard's full queue refused the
     /// query) — the previously invisible half of admission control.
     pub shard_rejects: Vec<u64>,
+    /// Per-shard tasks of rejected queries that were drained without
+    /// execution (the cancelled siblings of a partially scattered query).
+    /// Kept out of `shard_tasks`/`shard_latency` so the service-rate
+    /// estimate behind retry-after hints only averages real work.
+    pub shard_cancelled: Vec<u64>,
     /// Compactions completed (overlay folds into a rebuilt base).
     pub compactions: u64,
     /// Live inserts in the current delta overlay.
@@ -223,6 +228,7 @@ pub(crate) struct Handles {
     snapshot_age_seconds: Arc<Gauge>,
     shard_tasks: Vec<Arc<Counter>>,
     shard_rejects: Vec<Arc<Counter>>,
+    shard_cancelled: Vec<Arc<Counter>>,
     shard_latency: Vec<Arc<Histogram>>,
     shard_queue_depth: Vec<Arc<Gauge>>,
     query_counters: QueryCounters,
@@ -233,6 +239,7 @@ impl Handles {
     fn register(registry: &Registry, n_shards: usize) -> Self {
         let mut shard_tasks = Vec::with_capacity(n_shards);
         let mut shard_rejects = Vec::with_capacity(n_shards);
+        let mut shard_cancelled = Vec::with_capacity(n_shards);
         let mut shard_latency = Vec::with_capacity(n_shards);
         let mut shard_queue_depth = Vec::with_capacity(n_shards);
         for shard in 0..n_shards {
@@ -246,6 +253,11 @@ impl Handles {
             shard_rejects.push(registry.counter(
                 "serve_shard_rejects_total",
                 "Queries refused because this shard's queue was full",
+                &labels,
+            ));
+            shard_cancelled.push(registry.counter(
+                "serve_shard_cancelled_total",
+                "Tasks of rejected queries drained without execution",
                 &labels,
             ));
             shard_latency.push(registry.histogram(
@@ -292,6 +304,7 @@ impl Handles {
             ),
             shard_tasks,
             shard_rejects,
+            shard_cancelled,
             shard_latency,
             shard_queue_depth,
             query_counters: QueryCounters::register(registry),
@@ -660,6 +673,15 @@ impl ServeRuntime {
         (Arc::clone(snapshot.sharded.index()), snapshot.version)
     }
 
+    /// The base epoch of the currently published snapshot. Bumped whenever
+    /// the *base* index changes (an external publish or a compaction fold);
+    /// overlay-only republishes keep it. Replica shipping tags op-log
+    /// batches with this so a follower can tell "same base, more ops" from
+    /// "the primary rebuilt underneath me".
+    pub fn base_epoch(&self) -> u64 {
+        self.inner.snapshot.load().base_epoch
+    }
+
     /// Copy out counters and histograms (assembled from the registry).
     pub fn metrics(&self) -> ServeMetrics {
         let h = &self.inner.handles;
@@ -673,6 +695,7 @@ impl ServeRuntime {
             shard_latency: h.shard_latency.iter().map(|s| s.snapshot()).collect(),
             shard_tasks: h.shard_tasks.iter().map(|c| c.get()).collect(),
             shard_rejects: h.shard_rejects.iter().map(|c| c.get()).collect(),
+            shard_cancelled: h.shard_cancelled.iter().map(|c| c.get()).collect(),
             compactions: h.overlay.compactions.get(),
             overlay_ads: snapshot.overlay.ads(),
             overlay_tombstones: snapshot.overlay.tombstone_count(),
@@ -780,15 +803,24 @@ fn worker_loop(
 }
 
 fn run_task(inner: &Inner, task: ShardTask) {
+    if task.gather.is_cancelled() {
+        // A cancelled sibling of a rejected query: complete the rendezvous
+        // (nobody waits, but the slot accounting must balance) WITHOUT
+        // touching the task counter or the latency histogram. Recording
+        // these ~0 ms non-executions used to drag the mean shard service
+        // time toward zero under multi-connection bursts — exactly when
+        // admission control fires — so the retry-after hints derived from
+        // that mean collapsed and rejected clients hammered straight back.
+        inner.handles.shard_cancelled[task.shard].inc();
+        task.gather.complete(task.shard, ProbeBatch::default());
+        return;
+    }
     let t0 = Instant::now();
-    let batch = if task.gather.is_cancelled() {
-        ProbeBatch::default()
-    } else {
-        task.snapshot
-            .sharded
-            .index()
-            .execute_probes(&task.plan, task.probe_indices.iter().copied())
-    };
+    let batch = task
+        .snapshot
+        .sharded
+        .index()
+        .execute_probes(&task.plan, task.probe_indices.iter().copied());
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
     inner.handles.shard_latency[task.shard].record(elapsed_ms);
     inner.handles.shard_tasks[task.shard].inc();
@@ -904,6 +936,73 @@ mod tests {
         // rejects used to be invisible beyond the retry-after hint).
         let per_shard: u64 = metrics.shard_rejects.iter().sum();
         assert_eq!(per_shard, metrics.rejected);
+    }
+
+    #[test]
+    fn cancelled_tasks_stay_out_of_service_accounting() {
+        // A cancelled sibling of a rejected query must be drained (slot
+        // freed, rendezvous completed) but must NOT count as executed
+        // work: the shard latency histogram and task counter only see real
+        // executions, so the mean service time feeding retry-after hints
+        // is not dragged toward zero by ~0 ms no-ops exactly when
+        // admission control is firing. Drive the worker body directly so
+        // the cancelled/executed split is deterministic.
+        let runtime = ServeRuntime::start(
+            sample(),
+            ServeConfig {
+                n_shards: 2,
+                n_workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let snapshot = runtime.inner.snapshot.load();
+        let plan = Arc::new(
+            snapshot
+                .sharded
+                .plan("cheap used books online", MatchType::Broad)
+                .expect("plannable query"),
+        );
+
+        // One cancelled task on shard 0 (nobody waits on its gather)...
+        let cancelled_gather = Arc::new(Gather::new(2, 1));
+        cancelled_gather.cancel();
+        run_task(
+            &runtime.inner,
+            ShardTask {
+                snapshot: Arc::clone(&snapshot),
+                plan: Arc::clone(&plan),
+                shard: 0,
+                probe_indices: vec![0],
+                gather: Arc::clone(&cancelled_gather),
+            },
+        );
+        // ...and one live task on shard 1.
+        let live_gather = Arc::new(Gather::new(2, 1));
+        run_task(
+            &runtime.inner,
+            ShardTask {
+                snapshot: Arc::clone(&snapshot),
+                plan,
+                shard: 1,
+                probe_indices: vec![0],
+                gather: live_gather,
+            },
+        );
+
+        let m = runtime.metrics();
+        assert_eq!(m.shard_cancelled, vec![1, 0]);
+        assert_eq!(m.shard_tasks, vec![0, 1], "cancelled drain is not a task");
+        assert_eq!(
+            m.shard_latency[0].total(),
+            0,
+            "no service-time sample for the no-op"
+        );
+        assert_eq!(m.shard_latency[1].total(), 1);
+        // The rendezvous still completed for the cancelled slot.
+        assert!(cancelled_gather.is_cancelled());
+        assert_eq!(poison::lock(&cancelled_gather.slots).remaining, 0);
+        let text = runtime.prometheus();
+        assert!(text.contains("serve_shard_cancelled_total{shard=\"0\"} 1"));
     }
 
     #[test]

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Loopback-cluster smoke test: two sharded ad_server backends plus the
+# scatter-gather front end exchange real TCP frames. Asserts a routed
+# mutation becomes visible to a routed query and that the net_* metric
+# families appear in the Prometheus exposition fetched over the wire
+# (backend families via the Metrics opcode, router families from the
+# front end's own registry).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --example ad_server
+bin=target/release/examples/ad_server
+
+"$bin" --listen 127.0.0.1:7701 --shard 0/2 &
+b0=$!
+"$bin" --listen 127.0.0.1:7702 --shard 1/2 &
+b1=$!
+trap 'kill "$b0" "$b1" 2>/dev/null || true' EXIT
+
+# Wait for both listeners to come up (index build takes a few seconds).
+up=""
+for _ in $(seq 1 120); do
+  if (exec 3<>/dev/tcp/127.0.0.1/7701) 2>/dev/null &&
+     (exec 3<>/dev/tcp/127.0.0.1/7702) 2>/dev/null; then
+    up=yes
+    break
+  fi
+  sleep 0.5
+done
+[ -n "$up" ] || { echo "backends never came up"; exit 1; }
+
+out=$(printf ':insert 990001 55 zz smoke phrase\nzz smoke phrase today\n:metrics\n:quit\n' |
+  "$bin" --connect 127.0.0.1:7701,127.0.0.1:7702)
+
+echo "$out" | grep -q "1 match(es)" ||
+  { echo "routed insert did not become visible to a routed query"; echo "$out" | head -20; exit 1; }
+
+for family in \
+  net_connections_total \
+  net_frames_in_total \
+  net_frames_out_total \
+  net_router_requests_total \
+  net_router_query_latency_ms \
+  net_backend_latency_ms \
+  serve_queries_accepted_total; do
+  echo "$out" | grep -q "$family" || { echo "missing $family in exposition"; exit 1; }
+done
+
+echo "net smoke OK"

@@ -22,6 +22,10 @@
 //! * [`serve`] — the sharded, lock-free-read serving runtime: atomic
 //!   snapshot swap, per-shard worker queues, admission control, latency
 //!   histograms feeding back into [`netsim`];
+//! * [`net`] — the TCP cluster layer over [`serve`]: length-prefixed wire
+//!   protocol, thread-per-connection backends, a scatter-gather router
+//!   with hedging and graceful degradation, and primary→replica op-log
+//!   shipping, validated against [`netsim`]'s fan-out model;
 //! * [`telemetry`] — dependency-free counters, gauges, latency histograms,
 //!   a sampling span tracer, and Prometheus text exposition shared by
 //!   every crate above;
@@ -35,6 +39,7 @@ pub use broadmatch;
 pub use broadmatch_corpus as corpus;
 pub use broadmatch_invidx as invidx;
 pub use broadmatch_memcost as memcost;
+pub use broadmatch_net as net;
 pub use broadmatch_netsim as netsim;
 pub use broadmatch_rng as rng;
 pub use broadmatch_serve as serve;

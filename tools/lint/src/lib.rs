@@ -11,7 +11,8 @@
 //!    Applies to files that touch `atomic`; `crates/conccheck` is exempt
 //!    (orderings there are *data* the checker interprets, not choices),
 //!    as are tests.
-//! 3. **PANIC** — serve hot-path modules (`crates/serve/src/*.rs`) must
+//! 3. **PANIC** — serving hot-path modules (`crates/serve/src/*.rs` and
+//!    `crates/net/src/*.rs`) must
 //!    not `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
 //!    `unimplemented!` outside test code. `assert!` is allowed (invariant
 //!    checks are the point of the conccheck work). A deliberate exception
@@ -142,7 +143,7 @@ fn file_rules(rel: &Path) -> FileRules {
         .split('/')
         .any(|c| c == "tests" || c == "examples" || c == "benches");
     let in_conccheck = s.starts_with("crates/conccheck/");
-    let hot_path = s.starts_with("crates/serve/src/");
+    let hot_path = s.starts_with("crates/serve/src/") || s.starts_with("crates/net/src/");
     FileRules {
         safety: !in_test_dir,
         order: !in_test_dir && !in_conccheck,
@@ -276,7 +277,7 @@ fn check_file(path: &Path, rules: &FileRules, out: &mut Vec<Violation>) {
                         file: path.to_path_buf(),
                         line: lineno,
                         rule: "panic",
-                        message: format!("`{tok}` in a serve hot-path module"),
+                        message: format!("`{tok}` in a serving hot-path module"),
                     });
                 }
             }
